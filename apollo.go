@@ -1,0 +1,120 @@
+// Package apollo is the public facade of this reproduction of
+// "APOLLO: SGD-like Memory, AdamW-level Performance" (MLSys 2025).
+//
+// It re-exports the pieces a downstream user needs to train a model with
+// APOLLO in a few lines:
+//
+//	model := apollo.NewModel(apollo.ModelConfig{Vocab: 256, Dim: 64, Hidden: 176, Heads: 4, Layers: 4, MaxSeq: 128}, 1)
+//	opt := apollo.NewMini(apollo.Hyper{LR: 0.01})
+//	... compute gradients ...
+//	opt.Step(model.Params().List())
+//
+// The full subsystem packages live under internal/ (tensor math, the
+// transformer with manual backprop, the optimizer zoo, the synthetic corpus,
+// the memory/throughput models and the experiment harness); this package is
+// the stable surface.
+package apollo
+
+import (
+	"apollo/internal/core"
+	"apollo/internal/data"
+	"apollo/internal/linalg"
+	"apollo/internal/nn"
+	"apollo/internal/optim"
+	"apollo/internal/tensor"
+	"apollo/internal/train"
+)
+
+// Re-exported model types.
+type (
+	// ModelConfig describes a LLaMA-style decoder.
+	ModelConfig = nn.Config
+	// Model is the decoder-only transformer with manual backprop.
+	Model = nn.Model
+	// Param is one trainable tensor with its gradient.
+	Param = nn.Param
+	// Matrix is the dense float32 matrix used throughout.
+	Matrix = tensor.Matrix
+	// RNG is the deterministic random generator.
+	RNG = tensor.RNG
+)
+
+// Re-exported optimizer types.
+type (
+	// Hyper carries learning rate, betas, epsilon and weight decay.
+	Hyper = optim.Hyper
+	// Optimizer is the common optimizer interface.
+	Optimizer = optim.Optimizer
+	// Config parameterizes the APOLLO optimizer (Algorithm 1).
+	Config = core.Config
+	// APOLLO is the paper's optimizer.
+	APOLLO = core.APOLLO
+	// Granularity selects channel- vs tensor-wise scaling.
+	Granularity = core.Granularity
+)
+
+// Granularity values.
+const (
+	Channel = core.Channel
+	Tensor  = core.Tensor
+)
+
+// Projection kinds for Config.Projection.
+const (
+	RandomProjection = linalg.RandomProjection
+	SVDProjection    = linalg.SVDProjection
+)
+
+// NewModel builds and initializes a model from cfg with the given seed.
+func NewModel(cfg ModelConfig, seed uint64) *Model {
+	return nn.NewModel(cfg, tensor.NewRNG(seed))
+}
+
+// New constructs an APOLLO optimizer (channel-wise scaling, random
+// projection by default).
+func New(h Hyper, cfg Config) *APOLLO { return core.New(h, cfg) }
+
+// NewMini constructs APOLLO-Mini: rank-1 tensor-wise scaling with α = √128,
+// SGD-like memory.
+func NewMini(h Hyper) *APOLLO { return core.NewMini(h) }
+
+// NewAdamW constructs the AdamW baseline.
+func NewAdamW(h Hyper) Optimizer { return optim.NewAdamW(h) }
+
+// NewSGD constructs SGD with optional momentum.
+func NewSGD(h Hyper, momentum float64) Optimizer { return optim.NewSGD(h, momentum) }
+
+// Training helpers.
+type (
+	// Corpus yields synthetic training/validation batches.
+	Corpus = data.Corpus
+	// PretrainConfig controls the pre-training loop.
+	PretrainConfig = train.PretrainConfig
+	// Result summarizes a training run.
+	Result = train.Result
+	// Schedule maps step → learning rate.
+	Schedule = optim.Schedule
+)
+
+// NewCorpus builds the default synthetic corpus with the given vocabulary
+// size and seeds.
+func NewCorpus(vocab int, trainSeed, valSeed uint64) (*Corpus, error) {
+	cfg := data.DefaultSourceConfig()
+	cfg.Vocab = vocab
+	src, err := data.NewSource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return data.NewCorpus(src, trainSeed, valSeed), nil
+}
+
+// Pretrain runs the standard pre-training loop.
+func Pretrain(m *Model, opt Optimizer, corpus *Corpus, cfg PretrainConfig) Result {
+	return train.Pretrain(m, opt, corpus, cfg)
+}
+
+// WarmupCosine returns the paper's pre-training schedule (10% linear warmup,
+// cosine decay to 10% of peak).
+func WarmupCosine(peak float64, totalSteps int) Schedule {
+	return optim.NewWarmupCosine(peak, totalSteps)
+}

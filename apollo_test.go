@@ -1,0 +1,60 @@
+package apollo
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the public API end to end: the documented
+// three-line training flow must work and reduce perplexity.
+func TestFacadeQuickstart(t *testing.T) {
+	cfg := ModelConfig{Vocab: 64, Dim: 16, Hidden: 32, Heads: 2, Layers: 2, MaxSeq: 32}
+	corpus, err := NewCorpus(cfg.Vocab, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel(cfg, 7)
+	opt := NewMini(Hyper{LR: 0.01})
+	res := Pretrain(model, opt, corpus, PretrainConfig{
+		Batch: 4, Seq: 16, Steps: 60,
+		Schedule: WarmupCosine(0.01, 60),
+	})
+	if res.Optimizer != "APOLLO-Mini" {
+		t.Fatalf("optimizer name %q", res.Optimizer)
+	}
+	if math.IsNaN(res.FinalValPPL) || res.FinalValPPL >= 64 {
+		t.Fatalf("final ppl %v not below uniform", res.FinalValPPL)
+	}
+}
+
+func TestFacadeAPOLLOConfig(t *testing.T) {
+	opt := New(Hyper{LR: 0.01}, Config{Rank: 4, Granularity: Channel})
+	if opt.Name() != "APOLLO" {
+		t.Fatalf("name %q", opt.Name())
+	}
+	if opt.Config().Scale != 1 {
+		t.Fatalf("channel default scale %v want 1", opt.Config().Scale)
+	}
+	mini := NewMini(Hyper{LR: 0.01})
+	if got := mini.Config().Scale; math.Abs(got-math.Sqrt(128)) > 1e-9 {
+		t.Fatalf("mini default scale %v want √128", got)
+	}
+	svd := New(Hyper{LR: 0.01}, Config{Rank: 4, Projection: SVDProjection})
+	if svd.Name() != "APOLLO w. SVD" {
+		t.Fatalf("svd name %q", svd.Name())
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	for _, opt := range []Optimizer{
+		NewAdamW(Hyper{LR: 0.01}),
+		NewSGD(Hyper{LR: 0.01}, 0.9),
+	} {
+		if opt.Name() == "" {
+			t.Fatal("empty name")
+		}
+		if opt.LR() != 0.01 {
+			t.Fatalf("LR %v", opt.LR())
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command apollo-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	apollo-bench -list
+//	apollo-bench -run table2 [-scale full] [-seed 7]
+//	apollo-bench -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"apollo/internal/bench"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment id to run (or 'all')")
+		scale = flag.String("scale", "quick", "quick | full")
+		seed  = flag.Uint64("seed", 1, "experiment seed")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-16s %-22s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> (or -run all)")
+		}
+		return
+	}
+
+	sc := bench.Quick
+	if *scale == "full" {
+		sc = bench.Full
+	}
+
+	var targets []bench.Experiment
+	if *run == "all" {
+		targets = bench.All()
+	} else {
+		e, err := bench.Lookup(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		targets = []bench.Experiment{e}
+	}
+
+	for _, e := range targets {
+		fmt.Printf("==== %s (%s) — %s ====\n", e.ID, e.PaperRef, e.Title)
+		start := time.Now()
+		ctx := &bench.RunContext{Scale: sc, Out: os.Stdout, Seed: *seed}
+		if err := e.Run(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %.1fs ----\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

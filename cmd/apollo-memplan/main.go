@@ -1,0 +1,69 @@
+// Command apollo-memplan prints the analytic training-memory breakdown for
+// any paper-scale model and optimizer, and checks device feasibility.
+//
+// Usage:
+//
+//	apollo-memplan -model 7B -method APOLLO-Mini -int8 -layerwise -ckpt
+//	apollo-memplan -model 13B -method AdamW -seq 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apollo/internal/cluster"
+	"apollo/internal/memmodel"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "7B", "60M 130M 350M 1B 7B 13B")
+		method    = flag.String("method", "APOLLO", "memory-model method name")
+		rank      = flag.Int("rank", 0, "low-rank dimension (0 = hidden/4)")
+		seq       = flag.Int("seq", 256, "sequence length")
+		micro     = flag.Int("micro", 1, "micro-batch size")
+		int8W     = flag.Bool("int8", false, "INT8 group-quantized weights")
+		layerwise = flag.Bool("layerwise", false, "layer-wise gradient updates")
+		ckpt      = flag.Bool("ckpt", false, "full activation checkpointing")
+	)
+	flag.Parse()
+
+	cfg, err := memmodel.ConfigByName(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m, err := memmodel.MethodByName(*method)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	plan := memmodel.Plan{
+		Config: cfg, Method: m, Rank: *rank,
+		SeqLen: *seq, MicroBatch: *micro,
+		Int8Weights: *int8W, LayerWiseGrad: *layerwise, ActivationCkpt: *ckpt,
+	}
+	b := memmodel.Compute(plan)
+	fmt.Printf("%s + %s (rank %d), seq %d, micro-batch %d\n", cfg.Name, m.Name, effRank(cfg, *rank), *seq, *micro)
+	fmt.Printf("  weights      %8.2f GiB\n", memmodel.GiB(b.Weights))
+	fmt.Printf("  gradients    %8.2f GiB\n", memmodel.GiB(b.Gradients))
+	fmt.Printf("  optim states %8.2f GiB\n", memmodel.GiB(b.States))
+	fmt.Printf("  activations  %8.2f GiB\n", memmodel.GiB(b.Activations))
+	fmt.Printf("  total        %8.2f GiB\n\n", memmodel.GiB(b.Total()))
+
+	for _, dev := range []cluster.Device{cluster.A100_80G(), cluster.RTX4090()} {
+		verdict := "fits"
+		if b.Total() > dev.MemBytes {
+			verdict = "OOM"
+		}
+		fmt.Printf("  %-14s (%.0f GB): %s\n", dev.Name, dev.MemBytes/1e9, verdict)
+	}
+}
+
+func effRank(cfg memmodel.LLaMAConfig, rank int) int {
+	if rank == 0 {
+		return cfg.DefaultRank()
+	}
+	return rank
+}

@@ -1,0 +1,58 @@
+// Memory planning: reproduce the paper's headline feasibility results from
+// the analytic memory model — 7B under 12 GB with Q-APOLLO-Mini, 13B with
+// naive DDP on one A100-80G, and the batch-size advantage behind the 3×
+// throughput (Fig. 1, Section 5.3).
+package main
+
+import (
+	"fmt"
+
+	"apollo/internal/cluster"
+	"apollo/internal/memmodel"
+)
+
+func main() {
+	cfg7, _ := memmodel.ConfigByName("7B")
+	cfg13, _ := memmodel.ConfigByName("13B")
+
+	fmt.Println("== LLaMA-7B single-device memory (seq 256, micro-batch 1) ==")
+	rows := []struct {
+		label string
+		plan  memmodel.Plan
+	}{
+		{"AdamW", memmodel.Plan{Config: cfg7, Method: memmodel.MethodAdamW, SeqLen: 256, MicroBatch: 1}},
+		{"GaLore (r=1024)", memmodel.Plan{Config: cfg7, Method: memmodel.MethodGaLore, Rank: 1024, SeqLen: 256, MicroBatch: 1, LayerWiseGrad: true}},
+		{"APOLLO (r=256)", memmodel.Plan{Config: cfg7, Method: memmodel.MethodAPOLLO, Rank: 256, SeqLen: 256, MicroBatch: 1, LayerWiseGrad: true}},
+		{"APOLLO-Mini", memmodel.Plan{Config: cfg7, Method: memmodel.MethodAPOLLOMini, Rank: 1, SeqLen: 256, MicroBatch: 1, LayerWiseGrad: true}},
+		{"Q-APOLLO-Mini", memmodel.Plan{Config: cfg7, Method: memmodel.MethodAPOLLOMini, Rank: 1, SeqLen: 256, MicroBatch: 1, LayerWiseGrad: true, Int8Weights: true, ActivationCkpt: true}},
+	}
+	for _, r := range rows {
+		b := memmodel.Compute(r.plan)
+		fmt.Printf("  %-16s total %6.2f GiB (w %5.2f / g %5.2f / s %5.2f / a %5.2f)\n",
+			r.label, memmodel.GiB(b.Total()), memmodel.GiB(b.Weights),
+			memmodel.GiB(b.Gradients), memmodel.GiB(b.States), memmodel.GiB(b.Activations))
+	}
+
+	fmt.Println("\n== Feasible micro-batches on 8×A100-80G, seq 1024 (drives Fig. 1's 3×) ==")
+	w := cluster.Workload{Config: cfg7, Dev: cluster.A100_80G(), World: 8, SeqLen: 1024, GlobalBatch: 512}
+	wLW := w
+	wLW.LayerWise = true
+	for _, p := range []struct {
+		prof cluster.OptimizerProfile
+		work cluster.Workload
+	}{
+		{cluster.ProfileAdamW(), w},
+		{cluster.ProfileGaLore(1024, 200), wLW},
+		{cluster.ProfileAPOLLO(256), wLW},
+		{cluster.ProfileAPOLLOMini(), wLW},
+	} {
+		fmt.Printf("  %s\n", cluster.Describe(p.work, p.prof))
+	}
+
+	fmt.Println("\n== LLaMA-13B on a single A100-80G (naive DDP shard) ==")
+	w13 := cluster.Workload{Config: cfg13, Dev: cluster.A100_80G(), World: 1, SeqLen: 256, GlobalBatch: 8, Ckpt: true}
+	w13LW := w13
+	w13LW.LayerWise = true
+	fmt.Printf("  %s\n", cluster.Describe(w13, cluster.ProfileAdamW()))
+	fmt.Printf("  %s\n", cluster.Describe(w13LW, cluster.ProfileAPOLLOMini()))
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Scale selects how much compute an experiment run spends.
+type Scale int
+
+const (
+	// Quick shrinks step counts so the whole registry completes in minutes
+	// (the default for `apollo-bench` and the Go benchmarks).
+	Quick Scale = iota
+	// Full uses the proxy defaults (the numbers recorded in EXPERIMENTS.md).
+	Full
+)
+
+// RunContext carries execution options into a runner.
+type RunContext struct {
+	Scale Scale
+	Out   io.Writer
+	Seed  uint64
+}
+
+// Printf writes to the context's output.
+func (c *RunContext) Printf(format string, args ...any) {
+	fmt.Fprintf(c.Out, format, args...)
+}
+
+// steps scales a Full step count down for Quick runs. The floor keeps quick
+// runs long enough for the optimizer orderings to emerge (shorter traces are
+// dominated by initialization noise).
+func (c *RunContext) steps(full int) int {
+	if c.Scale == Quick {
+		s := full / 2
+		if s < 60 {
+			s = 60
+		}
+		return s
+	}
+	return full
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID       string
+	Title    string
+	PaperRef string // table/figure the runner regenerates
+	Run      func(ctx *RunContext) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Lookup returns an experiment by id.
+func Lookup(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("bench: unknown experiment %q (try `list`)", id)
+	}
+	return e, nil
+}
+
+// All returns every experiment sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,56 @@
+// Package core implements the paper's contribution: structured (channel- or
+// tensor-wise) learning-rate adaptation for LLM training, and its
+// memory-efficient realization APOLLO / APOLLO-Mini, which estimate the
+// structured gradient-scaling factors inside a low-rank auxiliary optimizer
+// state fed by pure random projection (Algorithm 1).
+package core
+
+import (
+	"fmt"
+
+	"apollo/internal/tensor"
+)
+
+// DefaultGamma is the norm-growth limiter threshold used throughout the
+// paper (γ = 1.01, Section 3.2).
+const DefaultGamma = 1.01
+
+// LimitNormGrowth applies the paper's norm-growth limiter (equation 4): if
+// ‖g‖ / prevNorm > gamma, g is rescaled so its norm equals gamma·prevNorm.
+// It returns the post-limit norm, which the caller stores as the next
+// prevNorm. A prevNorm of zero (first step) disables limiting. This replaces
+// vanilla gradient clipping and is what removes the early-training loss
+// spike of structured updates (Fig. 3).
+func LimitNormGrowth(g *tensor.Matrix, prevNorm, gamma float64) float64 {
+	norm := g.Norm()
+	if prevNorm > 0 && norm > gamma*prevNorm {
+		target := gamma * prevNorm
+		tensor.ScaleInPlace(g, float32(target/(norm+1e-30)))
+		return target
+	}
+	return norm
+}
+
+// Granularity selects how coarse the structured scaling factor is.
+type Granularity int
+
+const (
+	// Channel scaling assigns one factor per channel along the larger
+	// matrix dimension (APOLLO, Section 4.1).
+	Channel Granularity = iota
+	// Tensor scaling assigns a single factor to the whole matrix
+	// (APOLLO-Mini, Section 4.2).
+	Tensor
+)
+
+// String implements fmt.Stringer.
+func (g Granularity) String() string {
+	switch g {
+	case Channel:
+		return "channel"
+	case Tensor:
+		return "tensor"
+	default:
+		return fmt.Sprintf("Granularity(%d)", int(g))
+	}
+}

@@ -1,0 +1,208 @@
+package data
+
+import (
+	"fmt"
+
+	"apollo/internal/tensor"
+)
+
+// MCItem is one multiple-choice item: a shared context followed by K
+// candidate continuations, exactly one of which was really sampled from the
+// source. Zero-shot accuracy = fraction of items where the model assigns the
+// correct continuation the highest conditional likelihood — the same
+// likelihood-comparison protocol used by lm-eval-harness for BoolQ, ARC,
+// PIQA, etc.
+type MCItem struct {
+	Context [][]int // shared prefix, one slice (len ctxLen)
+	Options [][]int // K continuations, each contLen tokens
+	Answer  int     // index of the genuine continuation
+}
+
+// MCTaskConfig controls the difficulty profile of a generated suite. The
+// paper's ten zero-shot tasks are emulated by ten configs differing in
+// context length, continuation length and distractor temperature.
+type MCTaskConfig struct {
+	Name       string
+	Items      int
+	CtxLen     int
+	ContLen    int
+	Options    int
+	Distractor float64 // 0 = uniform-random distractors (easy) … 1 = sampled from the true source (hard)
+	Seed       uint64
+}
+
+// GenerateMCTask builds a deterministic suite of items from the source.
+func GenerateMCTask(src *Source, cfg MCTaskConfig) []MCItem {
+	if cfg.Options < 2 {
+		panic(fmt.Sprintf("data: task %q needs ≥2 options", cfg.Name))
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	items := make([]MCItem, cfg.Items)
+	for i := range items {
+		st := src.NewStream(rng.Uint64())
+		for b := 0; b < src.cfg.CopyLagMin; b++ {
+			st.Next()
+		}
+		ctx := make([]int, cfg.CtxLen)
+		st.Fill(ctx)
+		correct := make([]int, cfg.ContLen)
+		st.Fill(correct)
+
+		options := make([][]int, cfg.Options)
+		answer := rng.Intn(cfg.Options)
+		for o := range options {
+			if o == answer {
+				options[o] = correct
+				continue
+			}
+			opt := make([]int, cfg.ContLen)
+			if rng.Float64() < cfg.Distractor {
+				// Hard distractor: genuine source text from an unrelated
+				// stream — plausible surface statistics, wrong content.
+				alt := src.NewStream(rng.Uint64())
+				for b := 0; b < src.cfg.CopyLagMin; b++ {
+					alt.Next()
+				}
+				alt.Fill(opt)
+			} else {
+				for j := range opt {
+					opt[j] = rng.Intn(src.cfg.Vocab)
+				}
+			}
+			options[o] = opt
+		}
+		items[i] = MCItem{Context: [][]int{ctx}, Options: options, Answer: answer}
+	}
+	return items
+}
+
+// ZeroShotSuite returns the ten task configs mirroring Table 4's evaluation
+// set. Difficulty increases with distractor quality; context/continuation
+// lengths vary the way the real suites do (short yes/no style vs long
+// cloze-completion style).
+func ZeroShotSuite(seed uint64) []MCTaskConfig {
+	mk := func(name string, ctx, cont, opts int, distractor float64, i uint64) MCTaskConfig {
+		return MCTaskConfig{
+			Name: name, Items: 120, CtxLen: ctx, ContLen: cont,
+			Options: opts, Distractor: distractor, Seed: seed + i*7919,
+		}
+	}
+	return []MCTaskConfig{
+		mk("BoolQ", 48, 4, 2, 0.30, 1),
+		mk("RTE", 40, 4, 2, 0.85, 2),
+		mk("HellaSwag", 32, 12, 4, 0.55, 3),
+		mk("WinoGrande", 24, 4, 2, 0.60, 4),
+		mk("OBQA", 24, 8, 4, 0.45, 5),
+		mk("ARC-E", 24, 8, 4, 0.30, 6),
+		mk("ARC-C", 24, 8, 4, 0.70, 7),
+		mk("PIQA", 32, 8, 2, 0.35, 8),
+		mk("SciQ", 32, 8, 4, 0.25, 9),
+		mk("MathQA", 24, 6, 5, 0.80, 10),
+	}
+}
+
+// FTExample is one supervised fine-tuning example: a context whose latent
+// topic determines the label token. The model is trained to emit the label
+// after the context (classification-as-LM, the protocol used by the paper's
+// commonsense fine-tuning suite).
+type FTExample struct {
+	Context []int
+	Label   int // label token id (within [0, classes))
+}
+
+// FTTaskConfig describes a fine-tuning task.
+type FTTaskConfig struct {
+	Name    string
+	Train   int // number of training examples
+	Test    int // number of held-out examples
+	CtxLen  int
+	Classes int
+	Noise   float64 // label-noise probability: higher = lower achievable accuracy
+	Seed    uint64
+}
+
+// FTTask is a generated fine-tuning dataset.
+type FTTask struct {
+	Cfg       FTTaskConfig
+	TrainSet  []FTExample
+	TestSet   []FTExample
+	LabelBase int // labels occupy token ids [LabelBase, LabelBase+Classes)
+	SepToken  int // separator emitted between context and label
+}
+
+// GenerateFTTask builds a topic-classification task over the source. Labels
+// are topic ids mapped into the upper vocab range so that pretraining has
+// seen the tokens but attaches no prior meaning to them.
+func GenerateFTTask(src *Source, cfg FTTaskConfig) *FTTask {
+	if cfg.Classes > src.cfg.Topics {
+		cfg.Classes = src.cfg.Topics
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	labelBase := src.cfg.Vocab - cfg.Classes - 1
+	sep := src.cfg.Vocab - 1
+	gen := func(n int) []FTExample {
+		out := make([]FTExample, n)
+		for i := range out {
+			// Hold the topic fixed for the whole context so it is decodable.
+			topicWant := rng.Intn(cfg.Classes)
+			st := src.NewStream(rng.Uint64())
+			st.topic = topicWant
+			ctx := make([]int, cfg.CtxLen)
+			for j := range ctx {
+				// Suppress topic switching: resample manually from the
+				// chosen topic's row.
+				st.topic = topicWant
+				ctx[j] = st.Next()
+			}
+			label := topicWant
+			if rng.Float64() < cfg.Noise {
+				label = rng.Intn(cfg.Classes)
+			}
+			out[i] = FTExample{Context: ctx, Label: label}
+		}
+		return out
+	}
+	return &FTTask{
+		Cfg:       cfg,
+		TrainSet:  gen(cfg.Train),
+		TestSet:   gen(cfg.Test),
+		LabelBase: labelBase,
+		SepToken:  sep,
+	}
+}
+
+// CommonsenseSuite mirrors Table 5's eight fine-tuning tasks.
+func CommonsenseSuite(seed uint64) []FTTaskConfig {
+	mk := func(name string, classes int, noise float64, i uint64) FTTaskConfig {
+		return FTTaskConfig{
+			Name: name, Train: 160, Test: 96, CtxLen: 24,
+			Classes: classes, Noise: noise, Seed: seed + i*104729,
+		}
+	}
+	return []FTTaskConfig{
+		mk("WG", 2, 0.22, 1),
+		mk("PIQA", 2, 0.15, 2),
+		mk("SIQA", 3, 0.18, 3),
+		mk("OBQA", 4, 0.20, 4),
+		mk("HS", 4, 0.22, 5),
+		mk("BoolQ", 2, 0.25, 6),
+		mk("ARC-E", 4, 0.14, 7),
+		mk("ARC-C", 4, 0.28, 8),
+	}
+}
+
+// MMLUSuite mirrors Table 6's four domains.
+func MMLUSuite(seed uint64) []FTTaskConfig {
+	mk := func(name string, noise float64, i uint64) FTTaskConfig {
+		return FTTaskConfig{
+			Name: name, Train: 128, Test: 96, CtxLen: 24,
+			Classes: 4, Noise: noise, Seed: seed + i*15485863,
+		}
+	}
+	return []FTTaskConfig{
+		mk("STEM", 0.30, 1),
+		mk("SocialSciences", 0.18, 2),
+		mk("Humanities", 0.26, 3),
+		mk("Other", 0.21, 4),
+	}
+}

@@ -1,0 +1,138 @@
+// Package eval implements the evaluation harnesses of the paper's Section 5:
+// validation perplexity, likelihood-based zero-shot multiple choice (Table 4),
+// fine-tuning accuracy aggregation (Tables 5/6) and the directional-sharpness
+// probe of Section 5.5 (Table 10).
+package eval
+
+import (
+	"math"
+
+	"apollo/internal/data"
+	"apollo/internal/nn"
+	"apollo/internal/tensor"
+)
+
+// OptionLogProb scores one candidate continuation: the mean log-probability
+// of the option tokens conditioned on the context, exactly the
+// length-normalized scoring rule used by lm-eval-harness for the paper's
+// zero-shot suites.
+func OptionLogProb(model *nn.Model, context, option []int) float64 {
+	seq := make([]int, 0, len(context)+len(option))
+	seq = append(seq, context...)
+	seq = append(seq, option...)
+	logits := model.Forward(seq[:len(seq)-1], 1, len(seq)-1)
+	var total float64
+	// Position i of logits predicts seq[i+1]; option tokens start at
+	// len(context).
+	for i := len(context) - 1; i < len(seq)-1; i++ {
+		row := logits.Row(i)
+		lse := tensor.LogSumExp(row)
+		total += float64(row[seq[i+1]]) - lse
+	}
+	return total / float64(len(option))
+}
+
+// ZeroShotAccuracy scores a multiple-choice suite: an item is correct when
+// the genuine continuation receives the highest mean log-probability.
+func ZeroShotAccuracy(model *nn.Model, items []data.MCItem) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, item := range items {
+		best, bi := math.Inf(-1), 0
+		for o, opt := range item.Options {
+			if lp := OptionLogProb(model, item.Context[0], opt); lp > best {
+				best, bi = lp, o
+			}
+		}
+		if bi == item.Answer {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(items))
+}
+
+// SuiteResult is one task's score.
+type SuiteResult struct {
+	Task     string
+	Accuracy float64
+}
+
+// RunZeroShotSuite evaluates the full Table 4 suite on a model.
+func RunZeroShotSuite(model *nn.Model, src *data.Source, seed uint64) []SuiteResult {
+	var out []SuiteResult
+	for _, cfg := range data.ZeroShotSuite(seed) {
+		items := data.GenerateMCTask(src, cfg)
+		out = append(out, SuiteResult{Task: cfg.Name, Accuracy: ZeroShotAccuracy(model, items)})
+	}
+	return out
+}
+
+// Average returns the mean accuracy across suite results.
+func Average(rs []SuiteResult) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rs {
+		sum += r.Accuracy
+	}
+	return sum / float64(len(rs))
+}
+
+// DirectionalSharpness estimates vᵀ∇²L(θ)v along a normalized direction v
+// via the central second difference (L(θ+εv) − 2L(θ) + L(θ−εv))/ε². This is
+// the quantity of Pan & Li (2023) that Section 5.5 uses to explain why
+// APOLLO's SGD-like updates still optimize transformers well (Table 10).
+//
+// dir must be parallel to the parameter list; it is normalized internally.
+func DirectionalSharpness(model *nn.Model, dir []*tensor.Matrix, tokens, targets []int, b, t int, eps float64) float64 {
+	params := model.Params().List()
+	if len(dir) != len(params) {
+		panic("eval: direction/parameter length mismatch")
+	}
+	var sq float64
+	for _, d := range dir {
+		sq += d.SqNorm()
+	}
+	norm := math.Sqrt(sq)
+	if norm == 0 {
+		return 0
+	}
+	scale := float32(eps / norm)
+
+	move := func(sign float32) {
+		for i, p := range params {
+			tensor.AxpyInPlace(p.W, sign*scale, dir[i])
+		}
+	}
+
+	base := model.EvalLoss(tokens, targets, b, t)
+	move(+1)
+	plus := model.EvalLoss(tokens, targets, b, t)
+	move(-2)
+	minus := model.EvalLoss(tokens, targets, b, t)
+	move(+1) // restore
+
+	return (plus - 2*base + minus) / (eps * eps)
+}
+
+// UpdateDirection extracts an optimizer's current update direction by
+// cloning the parameters, applying one step at the given gradients, and
+// differencing. The returned matrices are parallel to the model parameters.
+func UpdateDirection(params []*nn.Param, step func(ps []*nn.Param)) []*tensor.Matrix {
+	clones := make([]*nn.Param, len(params))
+	for i, p := range params {
+		c := nn.NewParam(p.Name, p.Kind, p.W.Clone())
+		c.Grad.CopyFrom(p.Grad)
+		clones[i] = c
+	}
+	step(clones)
+	out := make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		out[i] = tensor.Sub(params[i].W, clones[i].W) // −Δ = descent direction
+		_ = p
+	}
+	return out
+}

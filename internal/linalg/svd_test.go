@@ -1,0 +1,143 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"apollo/internal/tensor"
+)
+
+func TestSVDReconstructsKnown(t *testing.T) {
+	a := tensor.FromSlice(2, 2, []float32{3, 0, 0, 2})
+	res := SVD(a)
+	if math.Abs(res.S[0]-3) > 1e-5 || math.Abs(res.S[1]-2) > 1e-5 {
+		t.Fatalf("singular values %v want [3 2]", res.S)
+	}
+	if !res.Reconstruct().AllClose(a, 1e-4) {
+		t.Fatal("reconstruction failed")
+	}
+}
+
+func TestSVDReconstructionRandom(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		m, n := 2+rng.Intn(20), 2+rng.Intn(20)
+		a := tensor.NewMatrixRand(m, n, 1, rng)
+		res := SVD(a)
+		return res.Reconstruct().AllClose(a, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVDSingularValuesSortedNonNegative(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	a := tensor.NewMatrixRand(15, 9, 1, rng)
+	res := SVD(a)
+	for i, s := range res.S {
+		if s < 0 {
+			t.Fatalf("negative singular value %v", s)
+		}
+		if i > 0 && res.S[i-1] < s-1e-9 {
+			t.Fatalf("singular values not sorted: %v", res.S)
+		}
+	}
+}
+
+func TestSVDOrthogonalFactors(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	a := tensor.NewMatrixRand(12, 8, 1, rng)
+	res := SVD(a)
+	utu := tensor.TMatMul(res.U, res.U) // k×k, should be ≈ I
+	for i := 0; i < utu.Rows; i++ {
+		for j := 0; j < utu.Cols; j++ {
+			want := float32(0)
+			if i == j {
+				want = 1
+			}
+			if math.Abs(float64(utu.At(i, j)-want)) > 1e-4 {
+				t.Fatalf("UᵀU[%d][%d]=%v", i, j, utu.At(i, j))
+			}
+		}
+	}
+	vtv := tensor.TMatMul(res.V, res.V)
+	for i := 0; i < vtv.Rows; i++ {
+		for j := 0; j < vtv.Cols; j++ {
+			want := float32(0)
+			if i == j {
+				want = 1
+			}
+			if math.Abs(float64(vtv.At(i, j)-want)) > 1e-4 {
+				t.Fatalf("VᵀV[%d][%d]=%v", i, j, vtv.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSVDWideMatrix(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	a := tensor.NewMatrixRand(5, 20, 1, rng)
+	res := SVD(a)
+	if !res.Reconstruct().AllClose(a, 1e-3) {
+		t.Fatal("wide-matrix reconstruction failed")
+	}
+}
+
+func TestSVDFrobeniusIdentity(t *testing.T) {
+	// ‖A‖_F² == Σ σᵢ².
+	rng := tensor.NewRNG(11)
+	a := tensor.NewMatrixRand(10, 14, 1, rng)
+	res := SVD(a)
+	var ssq float64
+	for _, s := range res.S {
+		ssq += s * s
+	}
+	if math.Abs(ssq-a.SqNorm()) > 1e-3*a.SqNorm() {
+		t.Fatalf("Σσ² = %v, ‖A‖² = %v", ssq, a.SqNorm())
+	}
+}
+
+func TestTopKLeftCapturesDominantSubspace(t *testing.T) {
+	// Build a matrix with a strongly dominant rank-1 component; TopKLeft(1)
+	// must capture nearly all its energy.
+	rng := tensor.NewRNG(13)
+	u := tensor.NewMatrixRand(16, 1, 1, rng)
+	v := tensor.NewMatrixRand(1, 24, 1, rng)
+	a := tensor.Scale(10, tensor.MatMul(u, v))
+	noise := tensor.NewMatrixRand(16, 24, 0.01, rng)
+	tensor.AddInPlace(a, noise)
+
+	p := TopKLeft(a, 1) // 1×16
+	r := tensor.MatMul(p, a)
+	if r.Norm() < 0.95*a.Norm() {
+		t.Fatalf("rank-1 projection kept %v of %v", r.Norm(), a.Norm())
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// A rank-1 matrix must produce one large singular value and the rest ~0.
+	rng := tensor.NewRNG(15)
+	u := tensor.NewMatrixRand(8, 1, 1, rng)
+	v := tensor.NewMatrixRand(1, 8, 1, rng)
+	a := tensor.MatMul(u, v)
+	res := SVD(a)
+	if res.S[0] < 1e-3 {
+		t.Fatal("dominant singular value vanished")
+	}
+	for _, s := range res.S[1:] {
+		if s > 1e-4*res.S[0] {
+			t.Fatalf("rank-1 matrix has extra singular value %v (σ0=%v)", s, res.S[0])
+		}
+	}
+}
+
+func TestSVDFlopsMonotone(t *testing.T) {
+	if SVDFlops(100, 100) >= SVDFlops(200, 100) {
+		t.Fatal("SVD flops must grow with m")
+	}
+	if SVDFlops(4096, 4096) < 1e11 {
+		t.Fatalf("7B-layer SVD flops unrealistically low: %v", SVDFlops(4096, 4096))
+	}
+}

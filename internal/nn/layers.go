@@ -1,0 +1,211 @@
+package nn
+
+import (
+	"math"
+
+	"apollo/internal/tensor"
+)
+
+// Linear is a bias-free fully connected layer y = x·Wᵀ with W stored out×in
+// (the LLaMA convention, and the orientation the paper's m×n analysis
+// assumes: channels live on the larger dimension).
+type Linear struct {
+	P *Param
+
+	x *tensor.Matrix // cached input for the backward pass
+}
+
+// NewLinear initializes W ∈ R^{out×in} with N(0, std²) entries.
+func NewLinear(name string, in, out int, std float64, rng *tensor.RNG) *Linear {
+	w := tensor.NewMatrixRand(out, in, std, rng)
+	return &Linear{P: NewParam(name, KindMatrix, w)}
+}
+
+// Forward computes y = x·Wᵀ for x of shape N×in.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	l.x = x
+	return tensor.MatMulT(x, l.P.W)
+}
+
+// Backward consumes dy (N×out), accumulates dW and returns dx (N×in).
+func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	// dW += dyᵀ·x  (out×in)
+	tensor.AddInPlace(l.P.Grad, tensor.TMatMul(dy, l.x))
+	// dx = dy·W    (N×in)
+	return tensor.MatMul(dy, l.P.W)
+}
+
+// Embedding maps token ids to dense rows of a vocab×dim table.
+type Embedding struct {
+	P   *Param
+	Dim int
+
+	tokens []int
+}
+
+// NewEmbedding initializes the table with N(0, std²) entries.
+func NewEmbedding(name string, vocab, dim int, std float64, rng *tensor.RNG) *Embedding {
+	w := tensor.NewMatrixRand(vocab, dim, std, rng)
+	return &Embedding{P: NewParam(name, KindEmbedding, w), Dim: dim}
+}
+
+// Forward gathers rows for each token id.
+func (e *Embedding) Forward(tokens []int) *tensor.Matrix {
+	e.tokens = tokens
+	out := tensor.NewMatrix(len(tokens), e.Dim)
+	for i, tok := range tokens {
+		copy(out.Row(i), e.P.W.Row(tok))
+	}
+	return out
+}
+
+// Backward scatters dy rows back into the gradient table.
+func (e *Embedding) Backward(dy *tensor.Matrix) {
+	for i, tok := range e.tokens {
+		grow := e.P.Grad.Row(tok)
+		drow := dy.Row(i)
+		for j, v := range drow {
+			grow[j] += v
+		}
+	}
+}
+
+// RMSNorm normalizes each row by its root-mean-square and applies a learned
+// per-channel gain (no bias, no mean subtraction — the LLaMA variant).
+type RMSNorm struct {
+	P   *Param
+	Eps float32
+
+	x   *tensor.Matrix
+	inv []float32 // 1/rms per row
+}
+
+// NewRMSNorm creates a norm over dim channels with gain initialized to 1.
+func NewRMSNorm(name string, dim int) *RMSNorm {
+	w := tensor.NewMatrix(1, dim)
+	w.Fill(1)
+	return &RMSNorm{P: NewParam(name, KindVector, w), Eps: 1e-5}
+}
+
+// Forward computes y_ij = x_ij * inv_i * g_j.
+func (r *RMSNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
+	r.x = x
+	r.inv = make([]float32, x.Rows)
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	g := r.P.W.Row(0)
+	dim := float64(x.Cols)
+	tensor.Parallel(x.Rows, 16, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			row := x.Row(i)
+			ms := tensor.SqNormSlice(row) / dim
+			inv := float32(1 / math.Sqrt(ms+float64(r.Eps)))
+			r.inv[i] = inv
+			orow := out.Row(i)
+			for j, v := range row {
+				orow[j] = v * inv * g[j]
+			}
+		}
+	})
+	return out
+}
+
+// Backward accumulates the gain gradient and returns dx.
+//
+// With u = x·inv (the normalized row): dg_j += Σ_i dy_ij·u_ij and
+// dx = inv·(g∘dy − u·mean_j(g∘dy∘u)).
+func (r *RMSNorm) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	x := r.x
+	dx := tensor.NewMatrix(x.Rows, x.Cols)
+	g := r.P.W.Row(0)
+	dim := float64(x.Cols)
+
+	// dg is accumulated serially (dim is small); dx rows run in parallel.
+	dg := r.P.Grad.Row(0)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		drow := dy.Row(i)
+		inv := r.inv[i]
+		for j := range row {
+			dg[j] += drow[j] * row[j] * inv
+		}
+	}
+	tensor.Parallel(x.Rows, 16, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			row := x.Row(i)
+			drow := dy.Row(i)
+			inv := r.inv[i]
+			var dot float64
+			for j := range row {
+				dot += float64(drow[j]) * float64(g[j]) * float64(row[j])
+			}
+			coef := float32(dot/dim) * inv * inv * inv
+			orow := dx.Row(i)
+			for j := range row {
+				orow[j] = g[j]*drow[j]*inv - row[j]*coef
+			}
+		}
+	})
+	return dx
+}
+
+// silu is x·σ(x), the activation inside SwiGLU.
+func silu(x float32) float32 {
+	return x * sigmoid(x)
+}
+
+func sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// siluGrad is d/dx silu(x) = σ(x)·(1 + x·(1−σ(x))).
+func siluGrad(x float32) float32 {
+	s := sigmoid(x)
+	return s * (1 + x*(1-s))
+}
+
+// SwiGLU is the LLaMA MLP: down( silu(gate(x)) ∘ up(x) ).
+type SwiGLU struct {
+	Gate, Up, Down *Linear
+
+	gateOut, upOut, h *tensor.Matrix
+}
+
+// NewSwiGLU builds the three projections for dim→hidden→dim.
+func NewSwiGLU(prefix string, dim, hidden int, rng *tensor.RNG) *SwiGLU {
+	std := 0.02
+	return &SwiGLU{
+		Gate: NewLinear(prefix+".gate", dim, hidden, std, rng),
+		Up:   NewLinear(prefix+".up", dim, hidden, std, rng),
+		Down: NewLinear(prefix+".down", hidden, dim, std, rng),
+	}
+}
+
+// Forward applies the gated MLP.
+func (m *SwiGLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	m.gateOut = m.Gate.Forward(x)
+	m.upOut = m.Up.Forward(x)
+	m.h = tensor.NewMatrix(x.Rows, m.gateOut.Cols)
+	for i := range m.h.Data {
+		m.h.Data[i] = silu(m.gateOut.Data[i]) * m.upOut.Data[i]
+	}
+	return m.Down.Forward(m.h)
+}
+
+// Backward returns dx and accumulates all three weight gradients.
+func (m *SwiGLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	dh := m.Down.Backward(dy)
+	dgate := tensor.NewMatrix(dh.Rows, dh.Cols)
+	dup := tensor.NewMatrix(dh.Rows, dh.Cols)
+	for i := range dh.Data {
+		dgate.Data[i] = dh.Data[i] * m.upOut.Data[i] * siluGrad(m.gateOut.Data[i])
+		dup.Data[i] = dh.Data[i] * silu(m.gateOut.Data[i])
+	}
+	dx := m.Gate.Backward(dgate)
+	tensor.AddInPlace(dx, m.Up.Backward(dup))
+	return dx
+}
+
+// Params returns the MLP parameters in traversal order.
+func (m *SwiGLU) Params() []*Param {
+	return []*Param{m.Gate.P, m.Up.P, m.Down.P}
+}

@@ -1,0 +1,241 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"apollo/internal/tensor"
+)
+
+// Config describes a LLaMA-style decoder. The paper's Table 11 configs
+// (60M–7B) are reproduced at reduced width by the presets in the bench
+// package; this struct carries the exact architecture either way.
+type Config struct {
+	Vocab  int // vocabulary size
+	Dim    int // model (hidden) width
+	Hidden int // SwiGLU intermediate width
+	Heads  int // attention heads
+	Layers int // transformer blocks
+	MaxSeq int // maximum sequence length (RoPE table size)
+}
+
+// Validate checks internal consistency.
+func (c Config) Validate() error {
+	if c.Vocab <= 0 || c.Dim <= 0 || c.Hidden <= 0 || c.Heads <= 0 || c.Layers <= 0 || c.MaxSeq <= 0 {
+		return fmt.Errorf("nn: non-positive config field: %+v", c)
+	}
+	if c.Dim%c.Heads != 0 {
+		return fmt.Errorf("nn: dim %d not divisible by heads %d", c.Dim, c.Heads)
+	}
+	if (c.Dim/c.Heads)%2 != 0 {
+		return fmt.Errorf("nn: head dim %d must be even for RoPE", c.Dim/c.Heads)
+	}
+	return nil
+}
+
+// NumParams returns the exact trainable parameter count for the config.
+func (c Config) NumParams() int {
+	perBlock := 4*c.Dim*c.Dim + 3*c.Dim*c.Hidden + 2*c.Dim
+	return c.Vocab*c.Dim + c.Layers*perBlock + c.Dim + c.Vocab*c.Dim
+}
+
+// Block is one pre-norm transformer layer.
+type Block struct {
+	Norm1 *RMSNorm
+	Attn  *Attention
+	Norm2 *RMSNorm
+	MLP   *SwiGLU
+}
+
+// Forward applies x + Attn(Norm1(x)) then x + MLP(Norm2(x)).
+func (b *Block) Forward(x *tensor.Matrix, batch, seq int) *tensor.Matrix {
+	h := tensor.Add(x, b.Attn.Forward(b.Norm1.Forward(x), batch, seq))
+	return tensor.Add(h, b.MLP.Forward(b.Norm2.Forward(h)))
+}
+
+// Backward propagates dy through the block and returns dx.
+func (b *Block) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	// y = h + MLP(Norm2(h)); dh = dy + Norm2ᵀ(MLPᵀ(dy))
+	dh := tensor.Add(dy, b.Norm2.Backward(b.MLP.Backward(dy)))
+	// h = x + Attn(Norm1(x)); dx = dh + Norm1ᵀ(Attnᵀ(dh))
+	return tensor.Add(dh, b.Norm1.Backward(b.Attn.Backward(dh)))
+}
+
+// Params returns the block parameters in traversal order.
+func (b *Block) Params() []*Param {
+	out := []*Param{b.Norm1.P}
+	out = append(out, b.Attn.Params()...)
+	out = append(out, b.Norm2.P)
+	out = append(out, b.MLP.Params()...)
+	return out
+}
+
+// Model is the full decoder-only language model with an untied output head.
+type Model struct {
+	Cfg    Config
+	Embed  *Embedding
+	Blocks []*Block
+	NormF  *RMSNorm
+	Head   *Linear
+
+	params *ParamSet
+	hidden *tensor.Matrix // cached final hidden states for Backward
+	batch  int
+	seq    int
+}
+
+// NewModel constructs and initializes a model from cfg using rng.
+func NewModel(cfg Config, rng *tensor.RNG) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Model{
+		Cfg:   cfg,
+		Embed: NewEmbedding("embed", cfg.Vocab, cfg.Dim, 0.02, rng),
+		NormF: NewRMSNorm("norm_f", cfg.Dim),
+		Head:  NewLinear("head", cfg.Dim, cfg.Vocab, 0.02, rng),
+	}
+	// The unembedding is a vocab-indexed table like the embedding: the
+	// reference GaLore/APOLLO implementations keep both on dense AdamW and
+	// project only the attention/MLP matrices. Channel-wise scaling across
+	// vocabulary rows is statistically meaningless (rare tokens get
+	// whitened noise), and marking the head accordingly is what lets
+	// channel-wise APOLLO match the paper's quality.
+	m.Head.P.Kind = KindEmbedding
+	for i := 0; i < cfg.Layers; i++ {
+		prefix := fmt.Sprintf("blocks.%d", i)
+		m.Blocks = append(m.Blocks, &Block{
+			Norm1: NewRMSNorm(prefix+".norm1", cfg.Dim),
+			Attn:  NewAttention(prefix+".attn", cfg.Dim, cfg.Heads, cfg.MaxSeq, rng),
+			Norm2: NewRMSNorm(prefix+".norm2", cfg.Dim),
+			MLP:   NewSwiGLU(prefix+".mlp", cfg.Dim, cfg.Hidden, rng),
+		})
+	}
+	ps := &ParamSet{}
+	ps.Add(m.Embed.P)
+	for _, b := range m.Blocks {
+		ps.Add(b.Params()...)
+	}
+	ps.Add(m.NormF.P, m.Head.P)
+	m.params = ps
+	return m
+}
+
+// Params returns the model's parameter set.
+func (m *Model) Params() *ParamSet { return m.params }
+
+// Forward maps token ids (length batch·seq, row-major by sequence) to logits
+// of shape (batch·seq)×vocab.
+func (m *Model) Forward(tokens []int, batch, seq int) *tensor.Matrix {
+	if len(tokens) != batch*seq {
+		panic(fmt.Sprintf("nn: %d tokens for batch %d × seq %d", len(tokens), batch, seq))
+	}
+	if seq > m.Cfg.MaxSeq {
+		panic(fmt.Sprintf("nn: seq %d exceeds MaxSeq %d", seq, m.Cfg.MaxSeq))
+	}
+	m.batch, m.seq = batch, seq
+	x := m.Embed.Forward(tokens)
+	for _, b := range m.Blocks {
+		x = b.Forward(x, batch, seq)
+	}
+	m.hidden = m.NormF.Forward(x)
+	return m.Head.Forward(m.hidden)
+}
+
+// Backward propagates dlogits through the whole network, accumulating every
+// parameter gradient.
+func (m *Model) Backward(dlogits *tensor.Matrix) {
+	dx := m.NormF.Backward(m.Head.Backward(dlogits))
+	for i := len(m.Blocks) - 1; i >= 0; i-- {
+		dx = m.Blocks[i].Backward(dx)
+	}
+	m.Embed.Backward(dx)
+}
+
+// CrossEntropy computes the mean negative log-likelihood of targets under
+// logits and the gradient dlogits = (softmax − onehot)/N. Targets equal to
+// ignoreIndex contribute neither loss nor gradient.
+func CrossEntropy(logits *tensor.Matrix, targets []int, ignoreIndex int) (float64, *tensor.Matrix) {
+	if len(targets) != logits.Rows {
+		panic(fmt.Sprintf("nn: %d targets for %d logit rows", len(targets), logits.Rows))
+	}
+	dlogits := tensor.NewMatrix(logits.Rows, logits.Cols)
+	counted := 0
+	for _, tgt := range targets {
+		if tgt != ignoreIndex {
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0, dlogits
+	}
+	lossCh := make([]float64, logits.Rows)
+	invN := float32(1.0 / float64(counted))
+	tensor.Parallel(logits.Rows, 8, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			tgt := targets[i]
+			if tgt == ignoreIndex {
+				continue
+			}
+			row := logits.Row(i)
+			lse := tensor.LogSumExp(row)
+			lossCh[i] = lse - float64(row[tgt])
+			drow := dlogits.Row(i)
+			for j, v := range row {
+				p := expf(float64(v) - lse)
+				drow[j] = float32(p) * invN
+			}
+			drow[tgt] -= invN
+		}
+	})
+	var total float64
+	for _, l := range lossCh {
+		total += l
+	}
+	return total / float64(counted), dlogits
+}
+
+// Loss is a convenience wrapper: forward + cross-entropy + backward.
+// It returns the mean loss over non-ignored targets.
+func (m *Model) Loss(tokens []int, targets []int, batch, seq int) float64 {
+	logits := m.Forward(tokens, batch, seq)
+	loss, dlogits := CrossEntropy(logits, targets, -1)
+	m.Backward(dlogits)
+	return loss
+}
+
+// EvalLoss computes the loss without touching gradients (no backward pass).
+func (m *Model) EvalLoss(tokens []int, targets []int, batch, seq int) float64 {
+	logits := m.Forward(tokens, batch, seq)
+	loss, _ := crossEntropyLossOnly(logits, targets, -1)
+	return loss
+}
+
+func crossEntropyLossOnly(logits *tensor.Matrix, targets []int, ignoreIndex int) (float64, int) {
+	var total float64
+	counted := 0
+	for i := 0; i < logits.Rows; i++ {
+		tgt := targets[i]
+		if tgt == ignoreIndex {
+			continue
+		}
+		row := logits.Row(i)
+		total += tensor.LogSumExp(row) - float64(row[tgt])
+		counted++
+	}
+	if counted == 0 {
+		return 0, 0
+	}
+	return total / float64(counted), counted
+}
+
+func expf(x float64) float64 {
+	// Clamp to avoid Inf from pathological logits in early training.
+	if x > 60 {
+		x = 60
+	}
+	if x < -60 {
+		return 0
+	}
+	return math.Exp(x)
+}

@@ -1,0 +1,157 @@
+package optim
+
+import (
+	"fmt"
+
+	"apollo/internal/linalg"
+	"apollo/internal/nn"
+	"apollo/internal/tensor"
+)
+
+// LowRankConfig carries the knobs shared by every projected optimizer
+// (GaLore, Fira, Flora here; APOLLO in internal/core).
+type LowRankConfig struct {
+	Rank       int
+	Scale      float64 // GaLore's α applied to the lifted update (paper: 0.25)
+	UpdateGap  int     // projection refresh period T (paper: 200)
+	Projection linalg.ProjectionKind
+	Seed       uint64
+}
+
+func (c LowRankConfig) withDefaults() LowRankConfig {
+	if c.Scale == 0 {
+		c.Scale = 0.25
+	}
+	if c.UpdateGap == 0 {
+		c.UpdateGap = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x6A10_12E
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c LowRankConfig) Validate() error {
+	if c.Rank < 1 {
+		return fmt.Errorf("optim: rank %d < 1", c.Rank)
+	}
+	if c.UpdateGap < 0 {
+		return fmt.Errorf("optim: negative update gap %d", c.UpdateGap)
+	}
+	return nil
+}
+
+// projects reports whether a parameter gets the low-rank treatment: 2-D
+// matrices whose smaller dimension exceeds the rank, exactly like the
+// reference GaLore implementation (norms, embeddings and small matrices fall
+// back to dense AdamW).
+func projects(p *nn.Param, rank int) bool {
+	if p.Kind != nn.KindMatrix {
+		return false
+	}
+	o := orient(p.W.Rows, p.W.Cols)
+	return o.m > rank
+}
+
+// galoreState is the per-parameter projected state.
+type galoreState struct {
+	proj  *linalg.Projector
+	adam  *adamState // moments on the r×n projected gradient
+	o     orientation
+	since int // steps since last projection refresh
+}
+
+// GaLore (Zhao et al., 2024) projects gradients into a rank-r subspace,
+// runs AdamW there, and lifts the normalized update back: W ← W −
+// lr·α·Pᵀ·AdamW(P·G). The subspace is recomputed every UpdateGap steps via
+// SVD (or random projection for the Fig. 5 ablation, which the paper shows
+// degrades GaLore badly).
+type GaLore struct {
+	h   Hyper
+	cfg LowRankConfig
+
+	states map[*nn.Param]*galoreState
+	dense  *AdamW // fallback for non-projected params
+	rng    *tensor.RNG
+}
+
+// NewGaLore builds the optimizer.
+func NewGaLore(h Hyper, cfg LowRankConfig) *GaLore {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &GaLore{
+		h:      h.withDefaults(),
+		cfg:    cfg,
+		states: map[*nn.Param]*galoreState{},
+		dense:  NewAdamW(h),
+		rng:    tensor.NewRNG(cfg.Seed),
+	}
+}
+
+// Name implements Optimizer.
+func (g *GaLore) Name() string {
+	if g.cfg.Projection == linalg.RandomProjection {
+		return "GaLore-RP"
+	}
+	return "GaLore"
+}
+
+// SetLR implements Optimizer.
+func (g *GaLore) SetLR(lr float64) {
+	g.h.LR = lr
+	g.dense.SetLR(lr)
+}
+
+// LR implements Optimizer.
+func (g *GaLore) LR() float64 { return g.h.LR }
+
+// Step implements Optimizer.
+func (g *GaLore) Step(ps []*nn.Param) {
+	var fallback []*nn.Param
+	for _, p := range ps {
+		if !projects(p, g.cfg.Rank) {
+			fallback = append(fallback, p)
+			continue
+		}
+		st, ok := g.states[p]
+		if !ok {
+			o := orient(p.W.Rows, p.W.Cols)
+			st = &galoreState{
+				proj: linalg.NewProjector(g.cfg.Projection, g.cfg.Rank, g.rng.Uint64()),
+				adam: newAdamState(g.cfg.Rank, o.n),
+				o:    o,
+			}
+			g.states[p] = st
+		}
+		grad := orientedView(p.Grad, st.o)
+		if !st.proj.Ready() || (g.cfg.UpdateGap > 0 && st.since >= g.cfg.UpdateGap) {
+			st.proj.Refresh(grad)
+			st.since = 0
+		}
+		st.since++
+
+		r := st.proj.Project(grad) // r×n
+		st.adam.update(r, r, g.h)  // in place: r becomes the normalized direction
+		update := st.proj.ProjectBack(r)
+		dir := unorient(update, st.o)
+		tensor.ScaleInPlace(dir, float32(g.cfg.Scale))
+		decayAndApply(p, dir, g.h.LR, g.h.WeightDecay)
+	}
+	if len(fallback) > 0 {
+		g.dense.Step(fallback)
+	}
+}
+
+// StateBytes implements Optimizer: projected moments + persisted projection
+// matrices (SVD only) + dense fallback states.
+func (g *GaLore) StateBytes() int64 {
+	total := g.dense.StateBytes()
+	for _, st := range g.states {
+		total += st.adam.bytes()
+		total += 4 * int64(st.proj.StateFloats())
+	}
+	return total
+}

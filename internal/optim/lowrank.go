@@ -1,0 +1,284 @@
+package optim
+
+import (
+	"fmt"
+
+	"apollo/internal/nn"
+	"apollo/internal/tensor"
+)
+
+// FactorizedMode selects which weight-factorization baseline to run. All
+// four share the machinery: W is reparameterized through rank-r factors and
+// only the factors receive AdamW updates. The chain rule gives the factor
+// gradients directly from the dense dW produced by backprop (dA = s·Bᵀ·dW,
+// dB = s·dW·Aᵀ), so the wrappers live entirely at the optimizer level and
+// work with any model.
+type FactorizedMode int
+
+const (
+	// ModeLowRank trains W = B·A from scratch with no frozen base — the
+	// paper's "Low-Rank" pre-training baseline (Table 2), which collapses
+	// at the 1B scale.
+	ModeLowRank FactorizedMode = iota
+	// ModeLoRA freezes the pretrained W0 and trains W = W0 + s·B·A.
+	ModeLoRA
+	// ModeReLoRA periodically merges the adapter into W0 and restarts it,
+	// recovering high-rank updates from a sequence of low-rank ones.
+	ModeReLoRA
+	// ModeDoRA decomposes W into per-column magnitude and direction,
+	// applying the adapter to the direction only (Liu et al., 2024a).
+	ModeDoRA
+)
+
+// String implements fmt.Stringer.
+func (m FactorizedMode) String() string {
+	switch m {
+	case ModeLowRank:
+		return "Low-Rank"
+	case ModeLoRA:
+		return "LoRA"
+	case ModeReLoRA:
+		return "ReLoRA"
+	case ModeDoRA:
+		return "DoRA"
+	default:
+		return fmt.Sprintf("FactorizedMode(%d)", int(m))
+	}
+}
+
+// FactorizedConfig parameterizes the factorized optimizers.
+type FactorizedConfig struct {
+	Mode       FactorizedMode
+	Rank       int
+	Alpha      float64 // adapter scaling s = Alpha/Rank (LoRA convention)
+	MergeEvery int     // ReLoRA merge period
+	Seed       uint64
+}
+
+func (c FactorizedConfig) withDefaults() FactorizedConfig {
+	if c.Alpha == 0 {
+		c.Alpha = float64(2 * c.Rank) // the common α = 2r heuristic
+	}
+	if c.MergeEvery == 0 {
+		c.MergeEvery = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x10A4
+	}
+	return c
+}
+
+type factorState struct {
+	w0    *tensor.Matrix // frozen base (nil for ModeLowRank: implicit zero)
+	a, b  *tensor.Matrix // factors: b is out×r, a is r×in
+	mag   []float32      // DoRA per-column magnitudes (len = in)
+	adamA *adamState
+	adamB *adamState
+	adamM *adamState
+	steps int
+}
+
+// Factorized implements the four reparameterized baselines behind one
+// Optimizer.
+type Factorized struct {
+	h   Hyper
+	cfg FactorizedConfig
+
+	states map[*nn.Param]*factorState
+	dense  *AdamW
+	rng    *tensor.RNG
+}
+
+// NewFactorized builds the wrapper.
+func NewFactorized(h Hyper, cfg FactorizedConfig) *Factorized {
+	cfg = cfg.withDefaults()
+	if cfg.Rank < 1 {
+		panic(fmt.Sprintf("optim: factorized rank %d", cfg.Rank))
+	}
+	return &Factorized{
+		h:      h.withDefaults(),
+		cfg:    cfg,
+		states: map[*nn.Param]*factorState{},
+		dense:  NewAdamW(h),
+		rng:    tensor.NewRNG(cfg.Seed),
+	}
+}
+
+// Name implements Optimizer.
+func (f *Factorized) Name() string { return f.cfg.Mode.String() }
+
+// SetLR implements Optimizer.
+func (f *Factorized) SetLR(lr float64) {
+	f.h.LR = lr
+	f.dense.SetLR(lr)
+}
+
+// LR implements Optimizer.
+func (f *Factorized) LR() float64 { return f.h.LR }
+
+// scale returns the adapter scaling factor s.
+func (f *Factorized) scale() float32 {
+	return float32(f.cfg.Alpha / float64(f.cfg.Rank))
+}
+
+func (f *Factorized) initState(p *nn.Param) *factorState {
+	out, in := p.W.Rows, p.W.Cols
+	r := f.cfg.Rank
+	st := &factorState{
+		a:     tensor.NewMatrixRand(r, in, 0.02, f.rng),
+		b:     tensor.NewMatrix(out, r),
+		adamA: newAdamState(r, in),
+		adamB: newAdamState(out, r),
+	}
+	switch f.cfg.Mode {
+	case ModeLowRank:
+		// Train W = B·A from scratch: random B too, otherwise W stays 0.
+		st.b = tensor.NewMatrixRand(out, r, 0.02, f.rng)
+	default:
+		st.w0 = p.W.Clone()
+	}
+	if f.cfg.Mode == ModeDoRA {
+		st.mag = make([]float32, in)
+		for j, n := range p.W.ColNorms() {
+			st.mag[j] = float32(n)
+		}
+		st.adamM = newAdamState(1, in)
+	}
+	return st
+}
+
+// effective recomputes the materialized weight from the factor state.
+func (f *Factorized) effective(st *factorState, w *tensor.Matrix) {
+	s := f.scale()
+	ba := tensor.MatMul(st.b, st.a)
+	tensor.ScaleInPlace(ba, s)
+	switch {
+	case st.w0 == nil: // ModeLowRank
+		w.CopyFrom(ba)
+	case st.mag != nil: // ModeDoRA: W = mag ∘ (W0+sBA)/‖·‖_col
+		v := tensor.Add(st.w0, ba)
+		norms := v.ColNorms()
+		for j := range norms {
+			if norms[j] < 1e-12 {
+				norms[j] = 1e-12
+			}
+		}
+		for i := 0; i < w.Rows; i++ {
+			vrow := v.Row(i)
+			wrow := w.Row(i)
+			for j := range wrow {
+				wrow[j] = st.mag[j] * vrow[j] / float32(norms[j])
+			}
+		}
+	default: // LoRA / ReLoRA
+		w.CopyFrom(st.w0)
+		tensor.AddInPlace(w, ba)
+	}
+}
+
+// Step implements Optimizer.
+func (f *Factorized) Step(ps []*nn.Param) {
+	var fallback []*nn.Param
+	for _, p := range ps {
+		if p.Kind != nn.KindMatrix || min(p.W.Rows, p.W.Cols) <= f.cfg.Rank {
+			fallback = append(fallback, p)
+			continue
+		}
+		st, ok := f.states[p]
+		if !ok {
+			st = f.initState(p)
+			f.states[p] = st
+			f.effective(st, p.W)
+		}
+		st.steps++
+		s := f.scale()
+		dW := p.Grad
+
+		var dV *tensor.Matrix
+		if st.mag != nil {
+			// DoRA: route dW through the magnitude/direction decomposition.
+			ba := tensor.MatMul(st.b, st.a)
+			tensor.ScaleInPlace(ba, s)
+			v := tensor.Add(st.w0, ba)
+			norms := v.ColNorms()
+			dV = tensor.NewMatrix(dW.Rows, dW.Cols)
+			dmag := tensor.NewMatrix(1, len(st.mag))
+			for j := 0; j < dW.Cols; j++ {
+				c := norms[j]
+				if c < 1e-12 {
+					c = 1e-12
+				}
+				var u float64
+				for i := 0; i < dW.Rows; i++ {
+					u += float64(dW.At(i, j)) * float64(v.At(i, j))
+				}
+				dmag.Set(0, j, float32(u/c))
+				mOverC := float64(st.mag[j]) / c
+				corr := u / (c * c)
+				for i := 0; i < dW.Rows; i++ {
+					dV.Set(i, j, float32(mOverC*(float64(dW.At(i, j))-float64(v.At(i, j))*corr)))
+				}
+			}
+			dirM := dmag.Clone()
+			st.adamM.update(dirM, dmag, f.h)
+			for j := range st.mag {
+				st.mag[j] -= float32(f.h.LR) * dirM.At(0, j)
+			}
+		} else {
+			dV = dW
+		}
+
+		// Factor gradients: dB = s·dV·Aᵀ, dA = s·Bᵀ·dV.
+		dB := tensor.MatMulT(dV, st.a)
+		tensor.ScaleInPlace(dB, s)
+		dA := tensor.TMatMul(st.b, dV)
+		tensor.ScaleInPlace(dA, s)
+
+		dirB := dB.Clone()
+		st.adamB.update(dirB, dB, f.h)
+		tensor.AxpyInPlace(st.b, float32(-f.h.LR), dirB)
+		dirA := dA.Clone()
+		st.adamA.update(dirA, dA, f.h)
+		tensor.AxpyInPlace(st.a, float32(-f.h.LR), dirA)
+
+		// ReLoRA merge-and-restart.
+		if f.cfg.Mode == ModeReLoRA && f.cfg.MergeEvery > 0 && st.steps%f.cfg.MergeEvery == 0 {
+			ba := tensor.MatMul(st.b, st.a)
+			tensor.ScaleInPlace(ba, s)
+			tensor.AddInPlace(st.w0, ba)
+			st.a = tensor.NewMatrixRand(f.cfg.Rank, p.W.Cols, 0.02, f.rng)
+			st.b.Zero()
+			st.adamA = newAdamState(f.cfg.Rank, p.W.Cols)
+			st.adamB = newAdamState(p.W.Rows, f.cfg.Rank)
+		}
+
+		f.effective(st, p.W)
+	}
+	if len(fallback) > 0 {
+		f.dense.Step(fallback)
+	}
+}
+
+// StateBytes implements Optimizer: frozen base + factors + their moments
+// (everything this method must keep resident beyond the live weight).
+func (f *Factorized) StateBytes() int64 {
+	total := f.dense.StateBytes()
+	for _, st := range f.states {
+		if st.w0 != nil {
+			total += 4 * int64(st.w0.NumEl())
+		}
+		total += 4 * int64(st.a.NumEl()+st.b.NumEl())
+		total += st.adamA.bytes() + st.adamB.bytes()
+		if st.adamM != nil {
+			total += st.adamM.bytes() + 4*int64(len(st.mag))
+		}
+	}
+	return total
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

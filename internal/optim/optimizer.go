@@ -1,0 +1,141 @@
+// Package optim implements the optimizer zoo the paper compares against:
+// SGD(+momentum), AdamW, Adam-mini, GaLore (SVD and random projection), Fira,
+// Flora, plain low-rank factorization, LoRA, ReLoRA and DoRA, plus 8-bit
+// optimizer-state variants and the warmup-cosine schedule used for all
+// pre-training runs. The paper's own contribution (APOLLO / APOLLO-Mini)
+// lives in internal/core and plugs into the same Optimizer interface.
+package optim
+
+import (
+	"math"
+
+	"apollo/internal/nn"
+	"apollo/internal/tensor"
+)
+
+// Optimizer updates parameters in place from their accumulated gradients.
+// Implementations must be deterministic given their construction seed.
+type Optimizer interface {
+	// Name identifies the method in experiment tables.
+	Name() string
+	// Step consumes the gradients of ps and updates the weights. Gradients
+	// are left untouched (callers zero them before the next accumulation).
+	Step(ps []*nn.Param)
+	// SetLR changes the learning rate (driven by the schedule).
+	SetLR(lr float64)
+	// LR returns the current learning rate.
+	LR() float64
+	// StateBytes reports the resident optimizer-state footprint in bytes,
+	// measured from the actually allocated state (not a formula) so the
+	// memory tables are honest.
+	StateBytes() int64
+}
+
+// Hyper carries the common hyperparameters. Zero values are replaced by the
+// AdamW defaults used across the paper's experiments.
+type Hyper struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+}
+
+// withDefaults fills unset fields with the paper's defaults.
+func (h Hyper) withDefaults() Hyper {
+	if h.Beta1 == 0 {
+		h.Beta1 = 0.9
+	}
+	if h.Beta2 == 0 {
+		h.Beta2 = 0.999
+	}
+	if h.Eps == 0 {
+		h.Eps = 1e-8
+	}
+	return h
+}
+
+// orientation captures how a weight matrix maps onto the paper's m×n
+// convention (m ≤ n): channels always index the larger dimension.
+type orientation struct {
+	transposed bool // true when rows > cols, i.e. the matrix is stored n×m
+	m, n       int  // m = min(rows, cols), n = max(rows, cols)
+}
+
+func orient(rows, cols int) orientation {
+	if rows <= cols {
+		return orientation{transposed: false, m: rows, n: cols}
+	}
+	return orientation{transposed: true, m: cols, n: rows}
+}
+
+// orientedView returns g in m×n orientation, transposing only when needed.
+func orientedView(g *tensor.Matrix, o orientation) *tensor.Matrix {
+	if !o.transposed {
+		return g
+	}
+	return g.T()
+}
+
+// unorient converts an m×n-oriented update back to the parameter's native
+// storage orientation.
+func unorient(u *tensor.Matrix, o orientation) *tensor.Matrix {
+	if !o.transposed {
+		return u
+	}
+	return u.T()
+}
+
+// adamState is the dense first/second moment pair reused by every
+// Adam-family optimizer in this package.
+type adamState struct {
+	m, v *tensor.Matrix
+	t    int
+}
+
+func newAdamState(rows, cols int) *adamState {
+	return &adamState{m: tensor.NewMatrix(rows, cols), v: tensor.NewMatrix(rows, cols)}
+}
+
+// update performs one bias-corrected AdamW moment update and writes the
+// normalized direction m̂/(√v̂+ε) into out (which may alias g).
+func (s *adamState) update(out, g *tensor.Matrix, h Hyper) {
+	s.t++
+	b1 := float32(h.Beta1)
+	b2 := float32(h.Beta2)
+	c1 := float32(1 / (1 - pow(h.Beta1, s.t)))
+	c2 := float32(1 / (1 - pow(h.Beta2, s.t)))
+	eps := float32(h.Eps)
+	md, vd, gd, od := s.m.Data, s.v.Data, g.Data, out.Data
+	for i, gv := range gd {
+		md[i] = b1*md[i] + (1-b1)*gv
+		vd[i] = b2*vd[i] + (1-b2)*gv*gv
+		mhat := md[i] * c1
+		vhat := vd[i] * c2
+		od[i] = mhat / (sqrt32(vhat) + eps)
+	}
+}
+
+func (s *adamState) bytes() int64 {
+	return 4 * int64(s.m.NumEl()+s.v.NumEl())
+}
+
+func pow(b float64, n int) float64 {
+	return math.Pow(b, float64(n))
+}
+
+func sqrt32(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(x)))
+}
+
+// decayAndApply performs the decoupled-weight-decay AdamW parameter update:
+// w ← w − lr·dir − lr·wd·w.
+func decayAndApply(p *nn.Param, dir *tensor.Matrix, lr, wd float64) {
+	if wd != 0 {
+		tensor.ScaleInPlace(p.W, float32(1-lr*wd))
+	}
+	tensor.AxpyInPlace(p.W, float32(-lr), dir)
+}

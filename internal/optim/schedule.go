@@ -1,0 +1,69 @@
+package optim
+
+import "math"
+
+// Schedule maps a step index to a learning rate.
+type Schedule interface {
+	At(step int) float64
+}
+
+// WarmupCosine is the schedule used for every pre-training run in the paper
+// (Appendix A.4): linear warmup over the first WarmupFrac of TotalSteps,
+// then cosine annealing down to FinalFrac of the peak.
+type WarmupCosine struct {
+	Peak       float64
+	TotalSteps int
+	WarmupFrac float64 // fraction of TotalSteps spent warming up (paper: 0.10)
+	FinalFrac  float64 // floor as a fraction of Peak (paper: 0.10)
+}
+
+// NewWarmupCosine builds the paper-default schedule for a peak LR.
+func NewWarmupCosine(peak float64, totalSteps int) WarmupCosine {
+	return WarmupCosine{Peak: peak, TotalSteps: totalSteps, WarmupFrac: 0.10, FinalFrac: 0.10}
+}
+
+// At implements Schedule.
+func (w WarmupCosine) At(step int) float64 {
+	if w.TotalSteps <= 0 {
+		return w.Peak
+	}
+	warm := int(float64(w.TotalSteps) * w.WarmupFrac)
+	if warm > 0 && step < warm {
+		return w.Peak * float64(step+1) / float64(warm)
+	}
+	span := w.TotalSteps - warm
+	if span <= 0 {
+		return w.Peak
+	}
+	progress := float64(step-warm) / float64(span)
+	if progress > 1 {
+		progress = 1
+	}
+	floor := w.Peak * w.FinalFrac
+	return floor + (w.Peak-floor)*0.5*(1+math.Cos(math.Pi*progress))
+}
+
+// Constant is a flat schedule (used by the fine-tuning runs).
+type Constant float64
+
+// At implements Schedule.
+func (c Constant) At(int) float64 { return float64(c) }
+
+// Linear decays linearly from Peak to zero over TotalSteps (the fine-tuning
+// recipe in Table 12 uses a linear scheduler).
+type Linear struct {
+	Peak       float64
+	TotalSteps int
+}
+
+// At implements Schedule.
+func (l Linear) At(step int) float64 {
+	if l.TotalSteps <= 0 {
+		return l.Peak
+	}
+	remain := 1 - float64(step)/float64(l.TotalSteps)
+	if remain < 0 {
+		remain = 0
+	}
+	return l.Peak * remain
+}

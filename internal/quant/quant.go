@@ -1,0 +1,176 @@
+// Package quant implements group-wise INT8 absmax quantization for weights
+// and optimizer states, the storage format behind the paper's 8-bit Adam /
+// 8-bit GaLore baselines (Table 3) and the Q-APOLLO / Q-GaLore variants
+// (Table 8, Fig. 1 middle). Values are stored as int8 codes plus one float32
+// scale per group; stochastic rounding keeps the quantization error unbiased
+// so that training still converges.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"apollo/internal/tensor"
+)
+
+// DefaultGroupSize is the quantization group used throughout the paper's
+// INT8 experiments.
+const DefaultGroupSize = 128
+
+// Tensor8 is an INT8-quantized tensor: codes in [-127, 127] with one
+// float32 absmax scale per group of GroupSize consecutive values.
+type Tensor8 struct {
+	Rows, Cols int
+	GroupSize  int
+	Codes      []int8
+	Scales     []float32
+}
+
+// NewTensor8 allocates a zeroed quantized tensor.
+func NewTensor8(rows, cols, groupSize int) *Tensor8 {
+	if groupSize <= 0 {
+		panic(fmt.Sprintf("quant: group size %d", groupSize))
+	}
+	n := rows * cols
+	groups := (n + groupSize - 1) / groupSize
+	return &Tensor8{
+		Rows: rows, Cols: cols, GroupSize: groupSize,
+		Codes:  make([]int8, n),
+		Scales: make([]float32, groups),
+	}
+}
+
+// Quantize encodes m into q. If rng is non-nil, stochastic rounding is used
+// (required when the tensor is an optimizer state that accumulates small
+// updates); otherwise round-to-nearest.
+func Quantize(q *Tensor8, m *tensor.Matrix, rng *tensor.RNG) {
+	if q.Rows != m.Rows || q.Cols != m.Cols {
+		panic(fmt.Sprintf("quant: shape mismatch %dx%d vs %dx%d", q.Rows, q.Cols, m.Rows, m.Cols))
+	}
+	n := len(m.Data)
+	for g := 0; g*q.GroupSize < n; g++ {
+		lo := g * q.GroupSize
+		hi := lo + q.GroupSize
+		if hi > n {
+			hi = n
+		}
+		var absmax float32
+		for _, v := range m.Data[lo:hi] {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a > absmax {
+				absmax = a
+			}
+		}
+		if absmax == 0 {
+			q.Scales[g] = 0
+			for i := lo; i < hi; i++ {
+				q.Codes[i] = 0
+			}
+			continue
+		}
+		scale := absmax / 127
+		q.Scales[g] = scale
+		inv := 1 / scale
+		for i := lo; i < hi; i++ {
+			x := float64(m.Data[i] * inv)
+			var code int
+			if rng != nil {
+				floor := math.Floor(x)
+				frac := x - floor
+				code = int(floor)
+				if rng.Float64() < frac {
+					code++
+				}
+			} else {
+				code = int(math.Round(x))
+			}
+			if code > 127 {
+				code = 127
+			}
+			if code < -127 {
+				code = -127
+			}
+			q.Codes[i] = int8(code)
+		}
+	}
+}
+
+// Dequantize decodes q into out (allocating if out is nil) and returns it.
+func Dequantize(q *Tensor8, out *tensor.Matrix) *tensor.Matrix {
+	if out == nil {
+		out = tensor.NewMatrix(q.Rows, q.Cols)
+	}
+	if out.Rows != q.Rows || out.Cols != q.Cols {
+		panic("quant: dequantize shape mismatch")
+	}
+	for g := 0; g*q.GroupSize < len(q.Codes); g++ {
+		lo := g * q.GroupSize
+		hi := lo + q.GroupSize
+		if hi > len(q.Codes) {
+			hi = len(q.Codes)
+		}
+		s := q.Scales[g]
+		for i := lo; i < hi; i++ {
+			out.Data[i] = float32(q.Codes[i]) * s
+		}
+	}
+	return out
+}
+
+// Bytes returns the resident size of the quantized tensor: one byte per
+// code plus four per group scale.
+func (q *Tensor8) Bytes() int64 {
+	return int64(len(q.Codes)) + 4*int64(len(q.Scales))
+}
+
+// QuantError returns the relative Frobenius error between m and its
+// round-trip through INT8. Used by tests and by the memory/quality tables.
+func QuantError(m *tensor.Matrix, groupSize int) float64 {
+	q := NewTensor8(m.Rows, m.Cols, groupSize)
+	Quantize(q, m, nil)
+	back := Dequantize(q, nil)
+	diff := tensor.Sub(back, m)
+	denom := m.Norm()
+	if denom == 0 {
+		return 0
+	}
+	return diff.Norm() / denom
+}
+
+// QuantizedWeight keeps a weight matrix in INT8 between steps and exposes a
+// float32 working copy for forward/backward. Update() folds a delta into the
+// quantized representation with stochastic rounding — the Q-GaLore / Q-APOLLO
+// weight path.
+type QuantizedWeight struct {
+	Q   *Tensor8
+	rng *tensor.RNG
+}
+
+// NewQuantizedWeight quantizes w as the initial state.
+func NewQuantizedWeight(w *tensor.Matrix, groupSize int, seed uint64) *QuantizedWeight {
+	qw := &QuantizedWeight{
+		Q:   NewTensor8(w.Rows, w.Cols, groupSize),
+		rng: tensor.NewRNG(seed),
+	}
+	Quantize(qw.Q, w, nil)
+	return qw
+}
+
+// Materialize decodes the current weight into out (or a new matrix).
+func (qw *QuantizedWeight) Materialize(out *tensor.Matrix) *tensor.Matrix {
+	return Dequantize(qw.Q, out)
+}
+
+// Update applies w ← w + delta in the quantized domain: decode, add,
+// re-encode with stochastic rounding.
+func (qw *QuantizedWeight) Update(delta *tensor.Matrix) {
+	w := Dequantize(qw.Q, nil)
+	tensor.AddInPlace(w, delta)
+	Quantize(qw.Q, w, qw.rng)
+}
+
+// Bytes returns the resident byte count.
+func (qw *QuantizedWeight) Bytes() int64 { return qw.Q.Bytes() }

@@ -1,0 +1,273 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// maxWorkers caps parallelism for the blocked kernels.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// Parallel runs fn over disjoint index ranges covering [0, n), splitting the
+// work across CPUs when n is large enough (at least minPerTask items per
+// task). It is the general-purpose fan-out used by the attention kernels and
+// optimizer loops.
+func Parallel(n, minPerTask int, fn func(i0, i1 int)) {
+	parallelRows(n, minPerTask, fn)
+}
+
+// parallelRows runs fn(i0, i1) over disjoint row ranges covering [0, rows).
+func parallelRows(rows int, minRowsPerTask int, fn func(i0, i1 int)) {
+	if rows <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if workers > rows/minRowsPerTask {
+		workers = rows / minRowsPerTask
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for i0 := 0; i0 < rows; i0 += chunk {
+		i1 := min(i0+chunk, rows)
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			fn(a, b)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// MatMul returns a·b.
+func MatMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a·b. out must be a.Rows × b.Cols and distinct
+// from a and b.
+func MatMulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	out.Zero()
+	k := a.Cols
+	n := b.Cols
+	parallelRows(a.Rows, 8, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				axpy(av, brow, orow)
+			}
+		}
+	})
+}
+
+// axpy computes y += a*x for equal-length slices. The 4-way unroll keeps the
+// hot loop friendly to the compiler's bounds-check elimination.
+func axpy(a float32, x, y []float32) {
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// Dot returns the inner product of equal-length slices.
+func Dot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s0, s1, s2, s3 float32
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += x[i] * y[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// MatMulT returns a·bᵀ without materializing the transpose.
+func MatMulT(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Rows)
+	MatMulTInto(out, a, b)
+	return out
+}
+
+// MatMulTInto computes out = a·bᵀ. a is r×k, b is c×k, out is r×c.
+func MatMulTInto(out, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT inner dim mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
+	k := a.Cols
+	parallelRows(a.Rows, 8, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+			for j := 0; j < b.Rows; j++ {
+				orow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
+			}
+		}
+	})
+}
+
+// TMatMul returns aᵀ·b without materializing the transpose.
+func TMatMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Cols, b.Cols)
+	TMatMulInto(out, a, b)
+	return out
+}
+
+// TMatMulInto computes out = aᵀ·b. a is k×r, b is k×c, out is r×c.
+func TMatMulInto(out, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: TMatMul inner dim mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: TMatMul out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, b.Cols))
+	}
+	out.Zero()
+	// Parallelize over output rows (columns of a) to avoid write contention.
+	parallelRows(a.Cols, 4, func(r0, r1 int) {
+		for p := 0; p < a.Rows; p++ {
+			arow := a.Data[p*a.Cols : (p+1)*a.Cols]
+			brow := b.Data[p*b.Cols : (p+1)*b.Cols]
+			for r := r0; r < r1; r++ {
+				av := arow[r]
+				if av == 0 {
+					continue
+				}
+				axpy(av, brow, out.Data[r*b.Cols:(r+1)*b.Cols])
+			}
+		}
+	})
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	a.mustSameShape(b, "Add")
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// AddInPlace computes a += b.
+func AddInPlace(a, b *Matrix) {
+	a.mustSameShape(b, "AddInPlace")
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// AxpyInPlace computes a += alpha*b.
+func AxpyInPlace(a *Matrix, alpha float32, b *Matrix) {
+	a.mustSameShape(b, "AxpyInPlace")
+	axpy(alpha, b.Data, a.Data)
+}
+
+// Sub returns a-b elementwise.
+func Sub(a, b *Matrix) *Matrix {
+	a.mustSameShape(b, "Sub")
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Scale returns alpha*a.
+func Scale(alpha float32, a *Matrix) *Matrix {
+	out := a.Clone()
+	for i := range out.Data {
+		out.Data[i] *= alpha
+	}
+	return out
+}
+
+// ScaleInPlace computes a *= alpha.
+func ScaleInPlace(a *Matrix, alpha float32) {
+	for i := range a.Data {
+		a.Data[i] *= alpha
+	}
+}
+
+// Hadamard returns the elementwise product a∘b.
+func Hadamard(a, b *Matrix) *Matrix {
+	a.mustSameShape(b, "Hadamard")
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] *= v
+	}
+	return out
+}
+
+// HadamardInPlace computes a ∘= b.
+func HadamardInPlace(a, b *Matrix) {
+	a.mustSameShape(b, "HadamardInPlace")
+	for i, v := range b.Data {
+		a.Data[i] *= v
+	}
+}
+
+// ScaleColsInPlace multiplies column j of a by s[j].
+func ScaleColsInPlace(a *Matrix, s []float32) {
+	if len(s) != a.Cols {
+		panic(fmt.Sprintf("tensor: ScaleCols got %d factors for %d cols", len(s), a.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, f := range s {
+			row[j] *= f
+		}
+	}
+}
+
+// ScaleRowsInPlace multiplies row i of a by s[i].
+func ScaleRowsInPlace(a *Matrix, s []float32) {
+	if len(s) != a.Rows {
+		panic(fmt.Sprintf("tensor: ScaleRows got %d factors for %d rows", len(s), a.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		ScaleSlice(row, s[i])
+	}
+}
+
+// ScaleSlice multiplies every element of x by alpha.
+func ScaleSlice(x []float32, alpha float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}

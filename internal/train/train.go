@@ -1,0 +1,226 @@
+// Package train provides the training loops shared by every experiment:
+// causal-LM pre-training with periodic validation (the protocol behind
+// Tables 2/3/8/9 and Figs. 2/3/5/6/7) and classification-as-LM fine-tuning
+// (Tables 5/6). Loops are deterministic given their seeds and record full
+// metric series so the figure runners can emit curves.
+package train
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"apollo/internal/data"
+	"apollo/internal/nn"
+	"apollo/internal/optim"
+)
+
+// Metric is one evaluation point during training.
+type Metric struct {
+	Step      int
+	TrainLoss float64
+	ValLoss   float64
+	ValPPL    float64
+	LR        float64
+}
+
+// Result summarizes one training run.
+type Result struct {
+	Optimizer   string
+	Series      []Metric
+	FinalValPPL float64
+	StateBytes  int64
+	WallSeconds float64
+	Steps       int
+}
+
+// PretrainConfig controls a pre-training run.
+type PretrainConfig struct {
+	Batch       int
+	Seq         int
+	Steps       int
+	EvalEvery   int // 0 = only final eval
+	EvalBatches int
+	Schedule    optim.Schedule
+	// ClipNorm applies global gradient clipping when > 0 (the AdamW/GaLore
+	// recipe; APOLLO relies on its norm-growth limiter instead).
+	ClipNorm float64
+	// Quiet suppresses progress output.
+	Logf func(format string, args ...any)
+}
+
+func (c PretrainConfig) withDefaults() PretrainConfig {
+	if c.EvalBatches == 0 {
+		c.EvalBatches = 4
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Pretrain runs the causal-LM loop: sample batch → loss/backprop → clip →
+// schedule → optimizer step, evaluating on the corpus's fixed validation
+// batches.
+func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg PretrainConfig) Result {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	var series []Metric
+	params := model.Params()
+
+	for step := 0; step < cfg.Steps; step++ {
+		if cfg.Schedule != nil {
+			opt.SetLR(cfg.Schedule.At(step))
+		}
+		batch := corpus.NextTrainBatch(cfg.Batch, cfg.Seq)
+		params.ZeroGrad()
+		loss := model.Loss(batch.Tokens, batch.Targets, batch.B, batch.T)
+		if cfg.ClipNorm > 0 {
+			params.ClipGradNorm(cfg.ClipNorm)
+		}
+		opt.Step(params.List())
+
+		if cfg.EvalEvery > 0 && (step+1)%cfg.EvalEvery == 0 {
+			val := Validate(model, corpus, cfg.EvalBatches, cfg.Batch, cfg.Seq)
+			series = append(series, Metric{
+				Step: step + 1, TrainLoss: loss, ValLoss: val,
+				ValPPL: math.Exp(val), LR: opt.LR(),
+			})
+			cfg.Logf("[%s] step %d/%d train %.4f val ppl %.2f", opt.Name(), step+1, cfg.Steps, loss, math.Exp(val))
+		}
+	}
+	final := Validate(model, corpus, cfg.EvalBatches, cfg.Batch, cfg.Seq)
+	series = append(series, Metric{
+		Step: cfg.Steps, ValLoss: final, ValPPL: math.Exp(final), LR: opt.LR(),
+	})
+	return Result{
+		Optimizer:   opt.Name(),
+		Series:      series,
+		FinalValPPL: math.Exp(final),
+		StateBytes:  opt.StateBytes(),
+		WallSeconds: time.Since(start).Seconds(),
+		Steps:       cfg.Steps,
+	}
+}
+
+// Validate returns the mean validation loss over the corpus's fixed
+// evaluation batches.
+func Validate(model *nn.Model, corpus *data.Corpus, batches, b, t int) float64 {
+	var total float64
+	for i := 0; i < batches; i++ {
+		vb := corpus.ValBatch(i, b, t)
+		total += model.EvalLoss(vb.Tokens, vb.Targets, vb.B, vb.T)
+	}
+	return total / float64(batches)
+}
+
+// EncodeFT builds the LM sequence for a fine-tuning example:
+// [ctx..., sep] predicting the label token at the separator position, every
+// other position masked out.
+func EncodeFT(task *data.FTTask, ex data.FTExample) (tokens, targets []int) {
+	seqLen := len(ex.Context) + 1
+	tokens = make([]int, seqLen)
+	targets = make([]int, seqLen)
+	copy(tokens, ex.Context)
+	tokens[seqLen-1] = task.SepToken
+	for i := range targets {
+		targets[i] = -1
+	}
+	targets[seqLen-1] = task.LabelBase + ex.Label
+	return tokens, targets
+}
+
+// FineTuneConfig controls a fine-tuning run.
+type FineTuneConfig struct {
+	Epochs   int
+	Batch    int
+	Schedule optim.Schedule
+	Seed     uint64
+}
+
+// FineTune trains model on the task's training split and returns held-out
+// accuracy (the Table 5/6 protocol).
+func FineTune(model *nn.Model, opt optim.Optimizer, task *data.FTTask, cfg FineTuneConfig) float64 {
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 3
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 8
+	}
+	seqLen := task.Cfg.CtxLen + 1
+	step := 0
+	order := make([]int, len(task.TrainSet))
+	for i := range order {
+		order[i] = i
+	}
+	rngState := cfg.Seed
+	next := func(n int) int { // tiny deterministic shuffle helper
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		return int((rngState >> 33) % uint64(n))
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for i := len(order) - 1; i > 0; i-- {
+			j := next(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for at := 0; at+cfg.Batch <= len(order); at += cfg.Batch {
+			tokens := make([]int, 0, cfg.Batch*seqLen)
+			targets := make([]int, 0, cfg.Batch*seqLen)
+			for _, idx := range order[at : at+cfg.Batch] {
+				tk, tg := EncodeFT(task, task.TrainSet[idx])
+				tokens = append(tokens, tk...)
+				targets = append(targets, tg...)
+			}
+			if cfg.Schedule != nil {
+				opt.SetLR(cfg.Schedule.At(step))
+			}
+			model.Params().ZeroGrad()
+			model.Loss(tokens, targets, cfg.Batch, seqLen)
+			opt.Step(model.Params().List())
+			step++
+		}
+	}
+	return FTAccuracy(model, task)
+}
+
+// FTAccuracy evaluates test accuracy: argmax over the task's label tokens at
+// the separator position.
+func FTAccuracy(model *nn.Model, task *data.FTTask) float64 {
+	correct := 0
+	seqLen := task.Cfg.CtxLen + 1
+	for _, ex := range task.TestSet {
+		tk, _ := EncodeFT(task, ex)
+		logits := model.Forward(tk, 1, seqLen)
+		row := logits.Row(seqLen - 1)
+		best, bi := math.Inf(-1), 0
+		for c := 0; c < task.Cfg.Classes; c++ {
+			if v := float64(row[task.LabelBase+c]); v > best {
+				best, bi = v, c
+			}
+		}
+		if bi == ex.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(task.TestSet))
+}
+
+// String renders a result row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-16s ppl %.2f  states %s  %.1fs",
+		r.Optimizer, r.FinalValPPL, FormatBytes(r.StateBytes), r.WallSeconds)
+}
+
+// FormatBytes renders byte counts for tables.
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fG", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fM", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fK", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
