@@ -21,6 +21,7 @@ import (
 	"apollo/internal/linalg"
 	"apollo/internal/nn"
 	"apollo/internal/optim"
+	rt "apollo/internal/runtime"
 	"apollo/internal/tensor"
 	"apollo/internal/train"
 )
@@ -112,6 +113,24 @@ func NewCorpus(vocab int, trainSeed, valSeed uint64) (*Corpus, error) {
 func Pretrain(m *Model, opt Optimizer, corpus *Corpus, cfg PretrainConfig) Result {
 	return train.Pretrain(m, opt, corpus, cfg)
 }
+
+// DPConfig controls data-parallel pre-training.
+type DPConfig = train.DPConfig
+
+// DPPretrain runs the data-parallel pre-training loop: the global batch is
+// sharded across cfg.Replicas model replicas running concurrently, with an
+// exact all-reduce before each optimizer step. Results are bit-identical
+// for every replica count; see internal/train/dp.go for the contract.
+func DPPretrain(m *Model, opt Optimizer, corpus *Corpus, cfg DPConfig) Result {
+	return train.DPPretrain(m, opt, corpus, cfg)
+}
+
+// SetWorkers resizes the shared tensor worker pool (default GOMAXPROCS).
+// Kernels are deterministic at any pool size, so this is a pure speed knob.
+func SetWorkers(n int) { rt.SetWorkers(n) }
+
+// Workers returns the shared worker pool's parallel width.
+func Workers() int { return rt.Workers() }
 
 // WarmupCosine returns the paper's pre-training schedule (10% linear warmup,
 // cosine decay to 10% of peak).

@@ -4,26 +4,43 @@
 //
 //	apollo-bench -list
 //	apollo-bench -run table2 [-scale full] [-seed 7]
-//	apollo-bench -run all
+//	apollo-bench -run table1,table11,fig9 -jobs 3
+//	apollo-bench -run all -jobs 4 -workers 2
+//
+// -jobs schedules independent experiments concurrently with per-runner
+// output capture (results print in registry order regardless of completion
+// order). -workers sizes the shared tensor worker pool each runner draws
+// from; kernels are deterministic at any pool size, so both flags change
+// only wall time, never the computed results (runners that print measured
+// timings, like table7 and runtime, report whatever contention they ran
+// under).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"apollo/internal/bench"
+	rt "apollo/internal/runtime"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment id to run (or 'all')")
-		scale = flag.String("scale", "quick", "quick | full")
-		seed  = flag.Uint64("seed", 1, "experiment seed")
-		list  = flag.Bool("list", false, "list available experiments")
+		run     = flag.String("run", "", "experiment id to run (or 'all')")
+		scale   = flag.String("scale", "quick", "quick | full")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		list    = flag.Bool("list", false, "list available experiments")
+		jobs    = flag.Int("jobs", 1, "experiments to run concurrently")
+		workers = flag.Int("workers", 0, "tensor worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		rt.SetWorkers(*workers)
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
@@ -45,12 +62,19 @@ func main() {
 	if *run == "all" {
 		targets = bench.All()
 	} else {
-		e, err := bench.Lookup(*run)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		for _, id := range strings.Split(*run, ",") {
+			e, err := bench.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			targets = append(targets, e)
 		}
-		targets = []bench.Experiment{e}
+	}
+
+	if *jobs > 1 && len(targets) > 1 {
+		runConcurrent(targets, *jobs, sc, *seed)
+		return
 	}
 
 	for _, e := range targets {
@@ -62,5 +86,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("---- %s done in %.1fs ----\n\n", e.ID, time.Since(start).Seconds())
+	}
+}
+
+// runConcurrent fans the experiments out over the scheduler and prints each
+// captured report in registry order.
+func runConcurrent(targets []bench.Experiment, jobs int, sc bench.Scale, seed uint64) {
+	fmt.Printf("running %d experiments with %d jobs, %d tensor workers\n\n",
+		len(targets), jobs, rt.Workers())
+	start := time.Now()
+	reports := bench.RunConcurrent(targets, jobs, sc, seed)
+	failed := 0
+	for _, r := range reports {
+		fmt.Printf("==== %s — %s ====\n", r.ID, r.Title)
+		os.Stdout.Write(r.Output)
+		if r.Err != nil {
+			failed++
+			fmt.Printf("!!!! %s failed: %v\n\n", r.ID, r.Err)
+			continue
+		}
+		fmt.Printf("---- %s done in %.1fs ----\n\n", r.ID, r.Seconds)
+	}
+	fmt.Printf("schedule complete: %d ok, %d failed, %.1fs wall\n",
+		len(reports)-failed, failed, time.Since(start).Seconds())
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

@@ -5,6 +5,12 @@
 //
 //	apollo-pretrain -size 130M -optimizer APOLLO-Mini -steps 300
 //	apollo-pretrain -size 60M -optimizer GaLore -rank 8 -lr 0.003
+//	apollo-pretrain -size 60M -replicas 4 -workers 8   # data-parallel
+//
+// -replicas N shards each batch across N model replicas with an exact
+// all-reduce: the loss curve is bit-identical for every N (see
+// internal/train/dp.go for the determinism contract). -workers sizes the
+// shared tensor worker pool; it never changes results, only speed.
 package main
 
 import (
@@ -14,21 +20,28 @@ import (
 
 	"apollo/internal/bench"
 	"apollo/internal/optim"
+	rt "apollo/internal/runtime"
 	"apollo/internal/train"
 )
 
 func main() {
 	var (
-		size   = flag.String("size", "60M", "proxy size: 60M 130M 350M 1B 7B")
-		method = flag.String("optimizer", "APOLLO", "optimizer name (see README)")
-		steps  = flag.Int("steps", 0, "training steps (0 = proxy default)")
-		batch  = flag.Int("batch", 0, "batch size (0 = proxy default)")
-		seq    = flag.Int("seq", 0, "sequence length (0 = proxy default)")
-		rank   = flag.Int("rank", 0, "low-rank dimension (0 = dim/4)")
-		lr     = flag.Float64("lr", 0, "peak learning rate (0 = proxy default)")
-		seed   = flag.Uint64("seed", 1, "run seed")
+		size     = flag.String("size", "60M", "proxy size: 60M 130M 350M 1B 7B")
+		method   = flag.String("optimizer", "APOLLO", "optimizer name (see README)")
+		steps    = flag.Int("steps", 0, "training steps (0 = proxy default)")
+		batch    = flag.Int("batch", 0, "batch size (0 = proxy default)")
+		seq      = flag.Int("seq", 0, "sequence length (0 = proxy default)")
+		rank     = flag.Int("rank", 0, "low-rank dimension (0 = dim/4)")
+		lr       = flag.Float64("lr", 0, "peak learning rate (0 = proxy default)")
+		seed     = flag.Uint64("seed", 1, "run seed")
+		replicas = flag.Int("replicas", 0, "data-parallel replicas (0 = classic fused loop)")
+		workers  = flag.Int("workers", 0, "tensor worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		rt.SetWorkers(*workers)
+	}
 
 	proxy, err := bench.ProxyByName(*size)
 	if err != nil {
@@ -63,17 +76,24 @@ func main() {
 		os.Exit(1)
 	}
 	model := proxy.NewProxyModel(*seed + 33)
-	fmt.Printf("pretraining proxy-%s (%d params) with %s, rank %d, lr %g, %d steps\n",
-		proxy.Name, model.Params().NumParams(), opt.Name(), r, proxy.LR, proxy.Steps)
+	fmt.Printf("pretraining proxy-%s (%d params) with %s, rank %d, lr %g, %d steps, %d workers\n",
+		proxy.Name, model.Params().NumParams(), opt.Name(), r, proxy.LR, proxy.Steps, rt.Workers())
 
-	res := train.Pretrain(model, opt, corpus, train.PretrainConfig{
+	pcfg := train.PretrainConfig{
 		Batch: proxy.Batch, Seq: proxy.Seq, Steps: proxy.Steps,
 		EvalEvery: maxInt(1, proxy.Steps/10), EvalBatches: 4,
 		Schedule: optim.NewWarmupCosine(proxy.LR, proxy.Steps),
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
-	})
+	}
+	var res train.Result
+	if *replicas > 0 {
+		fmt.Printf("data-parallel: %d replicas sharding the global batch of %d\n", *replicas, proxy.Batch)
+		res = train.DPPretrain(model, opt, corpus, train.DPConfig{PretrainConfig: pcfg, Replicas: *replicas})
+	} else {
+		res = train.Pretrain(model, opt, corpus, pcfg)
+	}
 	fmt.Printf("\nfinal: %s\n", res.String())
 }
 

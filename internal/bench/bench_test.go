@@ -13,6 +13,9 @@ func TestRegistryComplete(t *testing.T) {
 		"table8", "table9", "table10", "table11",
 		"fig1-memory", "fig1-throughput", "fig2", "fig3", "fig4", "fig5",
 		"fig6", "fig7", "fig9", "scaling-13b",
+		// Beyond the paper: measured parallel-runtime counterpart of the
+		// cluster simulator's throughput claims.
+		"runtime",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {

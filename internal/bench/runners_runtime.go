@@ -1,0 +1,110 @@
+package bench
+
+import (
+	goruntime "runtime"
+	"time"
+
+	"apollo/internal/cluster"
+	"apollo/internal/memmodel"
+	"apollo/internal/optim"
+	rt "apollo/internal/runtime"
+	"apollo/internal/tensor"
+	"apollo/internal/train"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "runtime",
+		Title:    "Parallel runtime: kernel scaling and measured vs simulated DP speedup",
+		PaperRef: "Fig. 1 (right), Sec. 5.3",
+		Run:      runRuntime,
+	})
+}
+
+// runRuntime measures what internal/cluster only simulates: the wall-clock
+// effect of parallel kernels and data-parallel training on this machine,
+// printed next to the simulator's DDP prediction so the two can be compared.
+func runRuntime(ctx *RunContext) error {
+	cores := goruntime.GOMAXPROCS(0)
+	pool := rt.Workers()
+	ctx.Printf("host: %d core(s), worker pool size %d\n\n", cores, pool)
+
+	// 1. Kernel scaling: serial vs pooled MatMul at 512x512. The serial
+	// reference kernel bypasses the pool entirely, so this runner never
+	// mutates shared state and is safe under `apollo-bench -jobs N`.
+	const n = 512
+	a := tensor.NewMatrixRand(n, n, 1, tensor.NewRNG(ctx.Seed))
+	b := tensor.NewMatrixRand(n, n, 1, tensor.NewRNG(ctx.Seed+1))
+	out := tensor.NewMatrix(n, n)
+	iters := 5
+	if ctx.Scale == Full {
+		iters = 20
+	}
+	timeMatMul := func(mm func(out, a, b []float32, m, k, n int)) float64 {
+		mm(out.Data, a.Data, b.Data, n, n, n) // warm up
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			mm(out.Data, a.Data, b.Data, n, n, n)
+		}
+		return time.Since(start).Seconds() / float64(iters)
+	}
+	serial := timeMatMul(rt.MatMulSerial)
+	par := timeMatMul(rt.MatMul)
+	ctx.Printf("MatMul %dx%d: serial %.1f ms, %d workers %.1f ms → %.2fx (bit-identical)\n\n",
+		n, n, serial*1e3, pool, par*1e3, serial/par)
+
+	// 2. Measured data-parallel training speedup at fixed global batch.
+	proxy, err := ProxyByName("60M")
+	if err != nil {
+		return err
+	}
+	steps := 6
+	if ctx.Scale == Full {
+		steps = 30
+	}
+	ctx.Printf("DP pre-training, proxy-60M, global batch %d, %d steps:\n", proxy.Batch, steps)
+	var dpBase float64
+	for _, replicas := range []int{1, 2, 4} {
+		model := proxy.NewProxyModel(ctx.Seed + 33)
+		opt := optim.NewAdamW(optim.Hyper{LR: proxy.LR})
+		corpus, err := NewCorpus(ctx.Seed + 17)
+		if err != nil {
+			return err
+		}
+		res := train.DPPretrain(model, opt, corpus, train.DPConfig{
+			PretrainConfig: train.PretrainConfig{Batch: proxy.Batch, Seq: proxy.Seq, Steps: steps},
+			Replicas:       replicas,
+		})
+		if dpBase == 0 {
+			dpBase = res.WallSeconds
+		}
+		ctx.Printf("  replicas=%d  %6.2fs  speedup %.2fx  final ppl %.2f\n",
+			replicas, res.WallSeconds, dpBase/res.WallSeconds, res.FinalValPPL)
+	}
+
+	// 3. The cluster simulator's DDP prediction for the same replica counts
+	// (perfect-memory regime: fixed micro-batch, comm over NVLink).
+	cfg, err := memmodel.ConfigByName("7B")
+	if err != nil {
+		return err
+	}
+	ctx.Printf("\nsimulated DDP scaling (internal/cluster, 7B on A100s, APOLLO profile):\n")
+	var simBase float64
+	for _, world := range []int{1, 2, 4} {
+		w := cluster.Workload{
+			Config: cfg, Dev: cluster.A100_80G(), World: world,
+			SeqLen: 1024, GlobalBatch: 64, LayerWise: true,
+		}
+		st := cluster.StepTime(w, cluster.ProfileAPOLLO(256), 16)
+		if simBase == 0 {
+			simBase = st.Total()
+		}
+		ctx.Printf("  world=%d     step %6.2fs  speedup %.2fx (comm %.3fs)\n",
+			world, st.Total(), simBase/st.Total(), st.Comm)
+	}
+	ctx.Printf("\nOn a single core the measured DP speedup is ~1x by construction — the\n")
+	ctx.Printf("replicas serialize onto one CPU; the simulator's near-linear curve is the\n")
+	ctx.Printf("multi-core/multi-GPU expectation. On an N-core host the measured column\n")
+	ctx.Printf("approaches it, bounded by the broadcast+all-reduce share of each step.\n")
+	return nil
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fakeExperiments builds runners that don't touch the registry (the real
+// registry's runners are exercised by bench_test.go; here we test the
+// scheduler mechanics).
+func fakeExperiments() []Experiment {
+	return []Experiment{
+		{ID: "a", Title: "first", Run: func(ctx *RunContext) error {
+			ctx.Printf("out-a seed=%d", ctx.Seed)
+			return nil
+		}},
+		{ID: "b", Title: "second", Run: func(ctx *RunContext) error {
+			ctx.Printf("out-b")
+			return errors.New("boom")
+		}},
+		{ID: "c", Title: "third", Run: func(ctx *RunContext) error {
+			panic("kaboom")
+		}},
+		{ID: "d", Title: "fourth", Run: func(ctx *RunContext) error {
+			ctx.Printf("out-d")
+			return nil
+		}},
+	}
+}
+
+func TestRunConcurrentCapturesPerRunner(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8} {
+		reports := RunConcurrent(fakeExperiments(), jobs, Quick, 9)
+		if len(reports) != 4 {
+			t.Fatalf("jobs=%d: %d reports", jobs, len(reports))
+		}
+		// Reports come back in input order with per-runner output intact.
+		if reports[0].ID != "a" || string(reports[0].Output) != "out-a seed=9" || reports[0].Err != nil {
+			t.Fatalf("jobs=%d: report a = %+v", jobs, reports[0])
+		}
+		if reports[1].Err == nil || string(reports[1].Output) != "out-b" {
+			t.Fatalf("jobs=%d: report b = %+v", jobs, reports[1])
+		}
+		if reports[2].Err == nil || !strings.Contains(reports[2].Err.Error(), "kaboom") {
+			t.Fatalf("jobs=%d: panic not captured: %+v", jobs, reports[2])
+		}
+		if reports[3].ID != "d" || string(reports[3].Output) != "out-d" {
+			t.Fatalf("jobs=%d: report d = %+v", jobs, reports[3])
+		}
+	}
+}
+
+// TestRunConcurrentRealRunners runs two real registry experiments
+// concurrently and checks both produce their captured output.
+func TestRunConcurrentRealRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real runners are slow")
+	}
+	all := All()
+	if len(all) < 2 {
+		t.Skip("registry too small")
+	}
+	picked := all[:2]
+	reports := RunConcurrent(picked, 2, Quick, 1)
+	for i, r := range reports {
+		if r.Err != nil {
+			t.Fatalf("runner %s failed: %v", r.ID, r.Err)
+		}
+		if len(r.Output) == 0 {
+			t.Fatalf("runner %s produced no output", r.ID)
+		}
+		if r.ID != picked[i].ID {
+			t.Fatalf("report order broken: got %s want %s", r.ID, picked[i].ID)
+		}
+	}
+}

@@ -152,23 +152,48 @@ func (m *Model) Backward(dlogits *tensor.Matrix) {
 	m.Embed.Backward(dx)
 }
 
-// CrossEntropy computes the mean negative log-likelihood of targets under
-// logits and the gradient dlogits = (softmax − onehot)/N. Targets equal to
-// ignoreIndex contribute neither loss nor gradient.
-func CrossEntropy(logits *tensor.Matrix, targets []int, ignoreIndex int) (float64, *tensor.Matrix) {
-	if len(targets) != logits.Rows {
-		panic(fmt.Sprintf("nn: %d targets for %d logit rows", len(targets), logits.Rows))
-	}
-	dlogits := tensor.NewMatrix(logits.Rows, logits.Cols)
+// CountTargets returns the number of entries of targets not equal to
+// ignoreIndex — the normalization constant of CrossEntropy. The data-parallel
+// trainer computes it once over the global batch so every shard normalizes
+// identically.
+func CountTargets(targets []int, ignoreIndex int) int {
 	counted := 0
 	for _, tgt := range targets {
 		if tgt != ignoreIndex {
 			counted++
 		}
 	}
+	return counted
+}
+
+// CrossEntropy computes the mean negative log-likelihood of targets under
+// logits and the gradient dlogits = (softmax − onehot)/N. Targets equal to
+// ignoreIndex contribute neither loss nor gradient.
+func CrossEntropy(logits *tensor.Matrix, targets []int, ignoreIndex int) (float64, *tensor.Matrix) {
+	counted := CountTargets(targets, ignoreIndex)
 	if counted == 0 {
-		return 0, dlogits
+		return 0, tensor.NewMatrix(logits.Rows, logits.Cols)
 	}
+	sum, dlogits := CrossEntropyShard(logits, targets, ignoreIndex, counted)
+	return sum / float64(counted), dlogits
+}
+
+// CrossEntropyShard is the sharded form of CrossEntropy: it returns the
+// UNnormalized loss sum over the rows it sees while scaling dlogits by
+// 1/normCount, where normCount is the non-ignored target count of the whole
+// (possibly multi-shard) batch. Because a row's loss and gradient depend
+// only on that row and normCount, a shard's dlogits rows are bit-identical
+// to the corresponding rows of a single full-batch call — the property the
+// data-parallel trainer's determinism contract rests on.
+func CrossEntropyShard(logits *tensor.Matrix, targets []int, ignoreIndex, normCount int) (float64, *tensor.Matrix) {
+	if len(targets) != logits.Rows {
+		panic(fmt.Sprintf("nn: %d targets for %d logit rows", len(targets), logits.Rows))
+	}
+	if normCount <= 0 {
+		panic(fmt.Sprintf("nn: CrossEntropyShard normCount %d", normCount))
+	}
+	dlogits := tensor.NewMatrix(logits.Rows, logits.Cols)
+	counted := normCount
 	lossCh := make([]float64, logits.Rows)
 	invN := float32(1.0 / float64(counted))
 	tensor.Parallel(logits.Rows, 8, func(i0, i1 int) {
@@ -192,7 +217,7 @@ func CrossEntropy(logits *tensor.Matrix, targets []int, ignoreIndex int) (float6
 	for _, l := range lossCh {
 		total += l
 	}
-	return total / float64(counted), dlogits
+	return total, dlogits
 }
 
 // Loss is a convenience wrapper: forward + cross-entropy + backward.
@@ -202,6 +227,17 @@ func (m *Model) Loss(tokens []int, targets []int, batch, seq int) float64 {
 	loss, dlogits := CrossEntropy(logits, targets, -1)
 	m.Backward(dlogits)
 	return loss
+}
+
+// LossShard is the data-parallel form of Loss: forward + sharded
+// cross-entropy + backward for one shard of a larger batch, normalizing
+// gradients by the global non-ignored target count and returning the
+// shard's UNnormalized loss sum.
+func (m *Model) LossShard(tokens []int, targets []int, batch, seq, normCount int) float64 {
+	logits := m.Forward(tokens, batch, seq)
+	lossSum, dlogits := CrossEntropyShard(logits, targets, -1, normCount)
+	m.Backward(dlogits)
+	return lossSum
 }
 
 // EvalLoss computes the loss without touching gradients (no backward pass).

@@ -1,0 +1,257 @@
+package runtime
+
+// Tiled multi-goroutine kernels for the hot dense ops. All matrices are
+// row-major float32 slices with explicit dimensions so this package depends
+// on nothing above it; internal/tensor dispatches here.
+//
+// Bit-identity: for every kernel, each output element is accumulated over the
+// inner dimension in ascending order no matter how the output is tiled or
+// how many workers run, so the parallel kernels reproduce the serial
+// reference exactly (see kernels_test.go).
+
+const (
+	// matmulParallelFlops is the multiply-add count above which the matmul
+	// kernels fan out to the pool; below it goroutine hand-off costs more
+	// than the work.
+	matmulParallelFlops = 64 * 1024
+	// jTile is the output-column tile width: one tile of the output row and
+	// the matching b-row segment stay resident in L1/L2 across the k-loop.
+	jTile = 512
+	// reduceChunk is the fixed reduction grid: partial sums are computed per
+	// chunk and combined in chunk order, making the result independent of
+	// worker count. The grid depends only on the input length.
+	reduceChunk = 8192
+	// ParallelReduceMin is the input length above which the chunked parallel
+	// reductions are worth dispatching.
+	ParallelReduceMin = 1 << 16
+)
+
+// matmulGrain returns the row grain keeping at least matmulParallelFlops of
+// work per task for rows costing rowFlops each.
+func matmulGrain(rowFlops int) int {
+	if rowFlops <= 0 {
+		return 1
+	}
+	g := matmulParallelFlops / rowFlops
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// MatMul computes out = a·b with a m×k, b k×n, out m×n (out pre-zeroed by
+// the caller or overwritten here: it is fully written). Tiles rows across
+// the pool above the size threshold; bit-identical to MatMulSerial.
+func MatMul(out, a, b []float32, m, k, n int) {
+	for i := range out[:m*n] {
+		out[i] = 0
+	}
+	if m*k*n < matmulParallelFlops {
+		matmulRows(out, a, b, k, n, 0, m)
+		return
+	}
+	ForRange(m, matmulGrain(k*n), func(i0, i1 int) {
+		matmulRows(out, a, b, k, n, i0, i1)
+	})
+}
+
+// MatMulSerial is the single-goroutine reference for MatMul.
+func MatMulSerial(out, a, b []float32, m, k, n int) {
+	for i := range out[:m*n] {
+		out[i] = 0
+	}
+	matmulRows(out, a, b, k, n, 0, m)
+}
+
+// matmulRows accumulates output rows [i0, i1). The j-tiling only reorders
+// which elements are touched when, never the per-element accumulation order
+// (p ascends within every tile), so bits match the untiled loop.
+func matmulRows(out, a, b []float32, k, n, i0, i1 int) {
+	for jb := 0; jb < n; jb += jTile {
+		je := jb + jTile
+		if je > n {
+			je = n
+		}
+		for i := i0; i < i1; i++ {
+			arow := a[i*k : (i+1)*k]
+			orow := out[i*n+jb : i*n+je]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				axpy(av, b[p*n+jb:p*n+je], orow)
+			}
+		}
+	}
+}
+
+// MatMulT computes out = a·bᵀ with a m×k, b n×k, out m×n, without
+// materializing the transpose. Bit-identical to MatMulTSerial.
+func MatMulT(out, a, b []float32, m, k, n int) {
+	if m*k*n < matmulParallelFlops {
+		matmulTRows(out, a, b, k, n, 0, m)
+		return
+	}
+	ForRange(m, matmulGrain(k*n), func(i0, i1 int) {
+		matmulTRows(out, a, b, k, n, i0, i1)
+	})
+}
+
+// MatMulTSerial is the single-goroutine reference for MatMulT.
+func MatMulTSerial(out, a, b []float32, m, k, n int) {
+	matmulTRows(out, a, b, k, n, 0, m)
+}
+
+func matmulTRows(out, a, b []float32, k, n, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			orow[j] = dot(arow, b[j*k:(j+1)*k])
+		}
+	}
+}
+
+// TMatMul computes out = aᵀ·b with a k×m, b k×n, out m×n, without
+// materializing the transpose. Parallelism is over output rows (columns of
+// a) so no two tasks write the same element; each element still accumulates
+// p = 0..k-1 in order. Bit-identical to TMatMulSerial.
+func TMatMul(out, a, b []float32, k, m, n int) {
+	for i := range out[:m*n] {
+		out[i] = 0
+	}
+	if m*k*n < matmulParallelFlops {
+		tmatmulCols(out, a, b, k, m, n, 0, m)
+		return
+	}
+	ForRange(m, matmulGrain(k*n), func(r0, r1 int) {
+		tmatmulCols(out, a, b, k, m, n, r0, r1)
+	})
+}
+
+// TMatMulSerial is the single-goroutine reference for TMatMul.
+func TMatMulSerial(out, a, b []float32, k, m, n int) {
+	for i := range out[:m*n] {
+		out[i] = 0
+	}
+	tmatmulCols(out, a, b, k, m, n, 0, m)
+}
+
+func tmatmulCols(out, a, b []float32, k, m, n, r0, r1 int) {
+	for p := 0; p < k; p++ {
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
+		for r := r0; r < r1; r++ {
+			av := arow[r]
+			if av == 0 {
+				continue
+			}
+			axpy(av, brow, out[r*n:(r+1)*n])
+		}
+	}
+}
+
+// Axpy computes y += alpha·x across the pool for large slices. Disjoint
+// ranges make any grid bit-identical to the serial loop.
+func Axpy(alpha float32, x, y []float32) {
+	ForRange(len(x), 1<<14, func(i0, i1 int) {
+		axpy(alpha, x[i0:i1], y[i0:i1])
+	})
+}
+
+// Scale computes x *= alpha across the pool for large slices.
+func Scale(x []float32, alpha float32) {
+	ForRange(len(x), 1<<14, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			x[i] *= alpha
+		}
+	})
+}
+
+// SumChunked returns Σ x accumulated in float64 over the fixed reduction
+// grid: chunk partials (serial within a chunk) combined in chunk order. The
+// grid depends only on len(x), so the result is bit-identical at any worker
+// count.
+func SumChunked(x []float32) float64 {
+	return reduceChunked(x, func(c []float32) float64 {
+		var s float64
+		for _, v := range c {
+			s += float64(v)
+		}
+		return s
+	})
+}
+
+// SqNormChunked returns Σ x² with the same fixed-grid determinism as
+// SumChunked.
+func SqNormChunked(x []float32) float64 {
+	return reduceChunked(x, func(c []float32) float64 {
+		var s float64
+		for _, v := range c {
+			s += float64(v) * float64(v)
+		}
+		return s
+	})
+}
+
+func reduceChunked(x []float32, chunkSum func([]float32) float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	chunks := (n + reduceChunk - 1) / reduceChunk
+	if chunks == 1 {
+		return chunkSum(x)
+	}
+	partials := make([]float64, chunks)
+	ForRange(chunks, 1, func(c0, c1 int) {
+		for c := c0; c < c1; c++ {
+			lo := c * reduceChunk
+			hi := lo + reduceChunk
+			if hi > n {
+				hi = n
+			}
+			partials[c] = chunkSum(x[lo:hi])
+		}
+	})
+	var s float64
+	for _, p := range partials {
+		s += p
+	}
+	return s
+}
+
+// axpy computes y += a·x; the 4-way unroll keeps the hot loop friendly to
+// bounds-check elimination.
+func axpy(a float32, x, y []float32) {
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// dot returns the inner product with the same 4-lane accumulation order as
+// tensor.Dot so dispatching there is bit-transparent.
+func dot(x, y []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += x[i] * y[i]
+	}
+	return s0 + s1 + s2 + s3
+}

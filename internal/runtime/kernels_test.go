@@ -1,0 +1,249 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fill populates x with a deterministic, sign-varying pattern including
+// exact zeros (the kernels skip zero multipliers, so parity must cover them).
+func fill(x []float32, seed uint64) {
+	s := seed
+	for i := range x {
+		s = s*6364136223846793005 + 1442695040888963407
+		v := float32(int32(s>>33)%1000) / 997
+		if s%17 == 0 {
+			v = 0
+		}
+		x[i] = v
+	}
+}
+
+func bitEqual(t *testing.T, name string, got, want []float32) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: bit mismatch at %d: got %v want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// shapes covers below-threshold, at-threshold and well-above-threshold
+// sizes, plus ragged dims that don't divide evenly into tiles or chunks.
+var shapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{3, 5, 7},
+	{8, 8, 8},
+	{31, 64, 33},
+	{64, 64, 64},
+	{100, 128, 96},
+	{257, 130, 511},
+}
+
+func withPoolSizes(t *testing.T, body func(t *testing.T)) {
+	t.Helper()
+	orig := Workers()
+	defer SetWorkers(orig)
+	for _, w := range []int{1, 2, 3, 8} {
+		SetWorkers(w)
+		t.Run(fmt.Sprintf("workers=%d", w), body)
+	}
+}
+
+func TestMatMulParity(t *testing.T) {
+	for _, sh := range shapes {
+		a := make([]float32, sh.m*sh.k)
+		b := make([]float32, sh.k*sh.n)
+		fill(a, uint64(sh.m*1000+sh.k))
+		fill(b, uint64(sh.k*1000+sh.n))
+		want := make([]float32, sh.m*sh.n)
+		MatMulSerial(want, a, b, sh.m, sh.k, sh.n)
+		withPoolSizes(t, func(t *testing.T) {
+			got := make([]float32, sh.m*sh.n)
+			fill(got, 999) // kernels must fully overwrite stale output
+			MatMul(got, a, b, sh.m, sh.k, sh.n)
+			bitEqual(t, fmt.Sprintf("MatMul %dx%dx%d", sh.m, sh.k, sh.n), got, want)
+		})
+	}
+}
+
+func TestMatMulTParity(t *testing.T) {
+	for _, sh := range shapes {
+		a := make([]float32, sh.m*sh.k)
+		b := make([]float32, sh.n*sh.k)
+		fill(a, uint64(sh.m*7+sh.k))
+		fill(b, uint64(sh.k*7+sh.n))
+		want := make([]float32, sh.m*sh.n)
+		MatMulTSerial(want, a, b, sh.m, sh.k, sh.n)
+		withPoolSizes(t, func(t *testing.T) {
+			got := make([]float32, sh.m*sh.n)
+			fill(got, 999)
+			MatMulT(got, a, b, sh.m, sh.k, sh.n)
+			bitEqual(t, fmt.Sprintf("MatMulT %dx%dx%d", sh.m, sh.k, sh.n), got, want)
+		})
+	}
+}
+
+func TestTMatMulParity(t *testing.T) {
+	for _, sh := range shapes {
+		a := make([]float32, sh.k*sh.m)
+		b := make([]float32, sh.k*sh.n)
+		fill(a, uint64(sh.m*13+sh.k))
+		fill(b, uint64(sh.k*13+sh.n))
+		want := make([]float32, sh.m*sh.n)
+		TMatMulSerial(want, a, b, sh.k, sh.m, sh.n)
+		withPoolSizes(t, func(t *testing.T) {
+			got := make([]float32, sh.m*sh.n)
+			fill(got, 999)
+			TMatMul(got, a, b, sh.k, sh.m, sh.n)
+			bitEqual(t, fmt.Sprintf("TMatMul %dx%dx%d", sh.m, sh.k, sh.n), got, want)
+		})
+	}
+}
+
+// TestMatMulMatchesNaive pins the kernels to the textbook triple loop within
+// float tolerance (the bit-parity tests above only relate parallel to
+// serial; this one catches a kernel that is consistently wrong).
+func TestMatMulMatchesNaive(t *testing.T) {
+	m, k, n := 33, 20, 29
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	fill(a, 3)
+	fill(b, 4)
+	naive := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			for j := 0; j < n; j++ {
+				naive[i*n+j] += float64(a[i*k+p]) * float64(b[p*n+j])
+			}
+		}
+	}
+	got := make([]float32, m*n)
+	MatMul(got, a, b, m, k, n)
+	for i := range got {
+		if d := float64(got[i]) - naive[i]; d > 1e-3 || d < -1e-3 {
+			t.Fatalf("MatMul vs naive at %d: got %v want %v", i, got[i], naive[i])
+		}
+	}
+}
+
+func TestReduceParity(t *testing.T) {
+	for _, n := range []int{0, 1, 100, reduceChunk, reduceChunk + 1, 3*reduceChunk + 17, ParallelReduceMin + 5} {
+		x := make([]float32, n)
+		fill(x, uint64(n)+11)
+		origWorkers := Workers()
+		SetWorkers(1)
+		wantSum := SumChunked(x)
+		wantSq := SqNormChunked(x)
+		SetWorkers(origWorkers)
+		withPoolSizes(t, func(t *testing.T) {
+			if got := SumChunked(x); got != wantSum {
+				t.Fatalf("SumChunked(n=%d) = %v, want %v", n, got, wantSum)
+			}
+			if got := SqNormChunked(x); got != wantSq {
+				t.Fatalf("SqNormChunked(n=%d) = %v, want %v", n, got, wantSq)
+			}
+		})
+	}
+}
+
+func TestAxpyScaleParity(t *testing.T) {
+	n := 1<<15 + 13
+	x := make([]float32, n)
+	fill(x, 21)
+	yserial := make([]float32, n)
+	fill(yserial, 22)
+	orig := Workers()
+	SetWorkers(1)
+	Axpy(0.75, x, yserial)
+	Scale(yserial, -1.25)
+	SetWorkers(orig)
+	withPoolSizes(t, func(t *testing.T) {
+		y := make([]float32, n)
+		fill(y, 22)
+		Axpy(0.75, x, y)
+		Scale(y, -1.25)
+		bitEqual(t, "Axpy+Scale", y, yserial)
+	})
+}
+
+// TestNestedForRange exercises fan-out from inside pool tasks (the shape the
+// data-parallel trainer produces: replica goroutines running pooled
+// kernels). The helping wait loop must keep this deadlock-free.
+func TestNestedForRange(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	SetWorkers(4)
+	out := make([]float32, 64*64)
+	a := make([]float32, 64*64)
+	b := make([]float32, 64*64)
+	fill(a, 1)
+	fill(b, 2)
+	ForRange(16, 1, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			local := make([]float32, 64*64)
+			MatMul(local, a, b, 64, 64, 64)
+			if i == 0 {
+				copy(out, local)
+			}
+		}
+	})
+	want := make([]float32, 64*64)
+	MatMulSerial(want, a, b, 64, 64, 64)
+	bitEqual(t, "nested MatMul", out, want)
+}
+
+// TestForRangePanicPropagates checks a panicking chunk surfaces on the
+// ForRange caller (not a background worker) and leaves the pool usable.
+func TestForRangePanicPropagates(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	SetWorkers(4)
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("expected ForRange to re-panic")
+			}
+		}()
+		ForRange(100, 1, func(i0, i1 int) {
+			if i0 > 0 { // panic only in a submitted (non-caller) chunk
+				panic("chunk boom")
+			}
+		})
+	}()
+	// The pool must still work after swallowing the panic.
+	var hits [32]int32
+	ForRange(32, 1, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			hits[i]++
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("post-panic: index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestPoolResize(t *testing.T) {
+	p := NewPool(4)
+	if p.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", p.Size())
+	}
+	p.Resize(1)
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", p.Size())
+	}
+	p.Resize(8)
+	var hits [100]int32
+	p.ForRange(100, 1, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			hits[i]++
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}

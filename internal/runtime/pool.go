@@ -1,0 +1,187 @@
+// Package runtime is the parallel execution substrate shared by the whole
+// repository: a persistent worker pool, a deterministic range-splitting
+// fan-out, tiled multi-goroutine kernels for the hot dense ops (MatMul and
+// its transposed variants, large elementwise loops) and fixed-grid parallel
+// reductions.
+//
+// Determinism contract: every kernel in this package produces bits that
+// depend only on its inputs (and compile-time tile constants) — never on the
+// worker count, GOMAXPROCS, or goroutine scheduling. The matmul kernels
+// achieve this by accumulating each output element over the inner dimension
+// in ascending order regardless of how the output is tiled; the reductions
+// achieve it by summing over a fixed chunk grid whose partials are combined
+// in chunk order. Parity tests compare every parallel kernel bit-for-bit
+// against its serial reference.
+package runtime
+
+import (
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a set of persistent worker goroutines executing submitted tasks.
+// A Pool of size n uses n-1 background workers; the goroutine calling
+// ForRange acts as the nth, so size 1 means fully inline execution.
+type Pool struct {
+	tasks chan func()
+
+	mu   sync.Mutex // guards resizes
+	size int32      // atomic: total parallel width including the caller
+	bg   int        // background workers currently running (mu)
+}
+
+// NewPool returns a pool with the given parallel width (minimum 1).
+func NewPool(size int) *Pool {
+	p := &Pool{tasks: make(chan func(), 1024)}
+	p.Resize(size)
+	return p
+}
+
+// Size returns the pool's parallel width.
+func (p *Pool) Size() int { return int(atomic.LoadInt32(&p.size)) }
+
+// Resize sets the pool's parallel width, spawning or retiring background
+// workers as needed. Safe to call concurrently with ForRange.
+func (p *Pool) Resize(size int) {
+	if size < 1 {
+		size = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	target := size - 1
+	for p.bg < target {
+		go p.worker()
+		p.bg++
+	}
+	for p.bg > target {
+		p.tasks <- nil // poison: retires exactly one worker
+		p.bg--
+	}
+	atomic.StoreInt32(&p.size, int32(size))
+}
+
+func (p *Pool) worker() {
+	for f := range p.tasks {
+		if f == nil {
+			return
+		}
+		f()
+	}
+}
+
+// ForRange splits [0, n) into contiguous chunks of at least minPerTask items
+// and runs fn over them, using the pool when the range is large enough. The
+// caller executes the first chunk itself and, while waiting for the rest,
+// helps drain the task queue — so nested ForRange calls from inside a task
+// can never deadlock the pool.
+//
+// fn must write only to data owned by its [i0, i1) range; under that
+// discipline the result is bit-identical to fn(0, n).
+func (p *Pool) ForRange(n, minPerTask int, fn func(i0, i1 int)) {
+	if n <= 0 {
+		return
+	}
+	if minPerTask < 1 {
+		minPerTask = 1
+	}
+	w := p.Size()
+	if max := n / minPerTask; w > max {
+		w = max
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var pending int32
+	panics := make(chan any, 1) // first panic from a submitted chunk
+	for i0 := chunk; i0 < n; i0 += chunk {
+		i1 := i0 + chunk
+		if i1 > n {
+			i1 = n
+		}
+		atomic.AddInt32(&pending, 1)
+		a, b := i0, i1
+		task := func() {
+			// A panicking chunk must still decrement pending (or the owner
+			// spins forever) and must be re-raised on the owning ForRange
+			// caller, not on whichever worker or helping goroutine stole it.
+			defer func() {
+				if r := recover(); r != nil {
+					select {
+					case panics <- r:
+					default:
+					}
+				}
+				atomic.AddInt32(&pending, -1)
+			}()
+			fn(a, b)
+		}
+		select {
+		case p.tasks <- task:
+		default: // queue full: run inline rather than block
+			task()
+		}
+	}
+	fn(0, chunk)
+	// Help with queued work (ours or anyone's) until our chunks are done.
+	for atomic.LoadInt32(&pending) > 0 {
+		select {
+		case f := <-p.tasks:
+			if f == nil {
+				p.requeuePoison()
+				continue
+			}
+			f()
+		default:
+			goruntime.Gosched()
+		}
+	}
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
+}
+
+// requeuePoison returns a retirement poison (stolen from the queue by a
+// helping ForRange caller) so a background worker eventually consumes it.
+// Sending can momentarily fail on a full queue, in which case we drain a
+// task to make room — executing real work or collecting further poisons —
+// so no poison is ever dropped and Resize's worker accounting stays exact.
+func (p *Pool) requeuePoison() {
+	owed := 1
+	for owed > 0 {
+		select {
+		case p.tasks <- nil:
+			owed--
+		case f := <-p.tasks:
+			if f == nil {
+				owed++
+			} else {
+				f()
+			}
+		}
+	}
+}
+
+// defaultPool is the process-wide pool used by the package-level helpers and,
+// through them, by the tensor kernels.
+var defaultPool = NewPool(goruntime.GOMAXPROCS(0))
+
+// Default returns the shared process-wide pool.
+func Default() *Pool { return defaultPool }
+
+// Workers returns the shared pool's parallel width.
+func Workers() int { return defaultPool.Size() }
+
+// SetWorkers resizes the shared pool (1 = fully serial execution). The
+// determinism contract makes this a pure performance knob: results are
+// bit-identical at any width.
+func SetWorkers(n int) { defaultPool.Resize(n) }
+
+// ForRange runs fn over [0, n) on the shared pool. See Pool.ForRange.
+func ForRange(n, minPerTask int, fn func(i0, i1 int)) {
+	defaultPool.ForRange(n, minPerTask, fn)
+}

@@ -2,45 +2,22 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"apollo/internal/runtime"
 )
 
-// maxWorkers caps parallelism for the blocked kernels.
-var maxWorkers = runtime.GOMAXPROCS(0)
-
-// Parallel runs fn over disjoint index ranges covering [0, n), splitting the
-// work across CPUs when n is large enough (at least minPerTask items per
+// Parallel runs fn over disjoint index ranges covering [0, n) on the shared
+// runtime worker pool when n is large enough (at least minPerTask items per
 // task). It is the general-purpose fan-out used by the attention kernels and
-// optimizer loops.
+// optimizer loops. fn must write only to data owned by its range, which
+// makes the result bit-identical to fn(0, n) at any pool size.
 func Parallel(n, minPerTask int, fn func(i0, i1 int)) {
-	parallelRows(n, minPerTask, fn)
+	runtime.ForRange(n, minPerTask, fn)
 }
 
-// parallelRows runs fn(i0, i1) over disjoint row ranges covering [0, rows).
+// parallelRows is the historical name used inside this package.
 func parallelRows(rows int, minRowsPerTask int, fn func(i0, i1 int)) {
-	if rows <= 0 {
-		return
-	}
-	workers := maxWorkers
-	if workers > rows/minRowsPerTask {
-		workers = rows / minRowsPerTask
-	}
-	if workers <= 1 {
-		fn(0, rows)
-		return
-	}
-	chunk := (rows + workers - 1) / workers
-	var wg sync.WaitGroup
-	for i0 := 0; i0 < rows; i0 += chunk {
-		i1 := min(i0+chunk, rows)
-		wg.Add(1)
-		go func(a, b int) {
-			defer wg.Done()
-			fn(a, b)
-		}(i0, i1)
-	}
-	wg.Wait()
+	runtime.ForRange(rows, minRowsPerTask, fn)
 }
 
 // MatMul returns a·b.
@@ -59,39 +36,7 @@ func MatMulInto(out, a, b *Matrix) {
 	if out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
 	}
-	out.Zero()
-	k := a.Cols
-	n := b.Cols
-	parallelRows(a.Rows, 8, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				axpy(av, brow, orow)
-			}
-		}
-	})
-}
-
-// axpy computes y += a*x for equal-length slices. The 4-way unroll keeps the
-// hot loop friendly to the compiler's bounds-check elimination.
-func axpy(a float32, x, y []float32) {
-	n := len(x)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		y[i] += a * x[i]
-		y[i+1] += a * x[i+1]
-		y[i+2] += a * x[i+2]
-		y[i+3] += a * x[i+3]
-	}
-	for ; i < n; i++ {
-		y[i] += a * x[i]
-	}
+	runtime.MatMul(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols)
 }
 
 // Dot returns the inner product of equal-length slices.
@@ -129,16 +74,7 @@ func MatMulTInto(out, a, b *Matrix) {
 	if out.Rows != a.Rows || out.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulT out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
 	}
-	k := a.Cols
-	parallelRows(a.Rows, 8, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*b.Rows : (i+1)*b.Rows]
-			for j := 0; j < b.Rows; j++ {
-				orow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
-			}
-		}
-	})
+	runtime.MatMulT(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Rows)
 }
 
 // TMatMul returns aᵀ·b without materializing the transpose.
@@ -156,21 +92,9 @@ func TMatMulInto(out, a, b *Matrix) {
 	if out.Rows != a.Cols || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: TMatMul out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, b.Cols))
 	}
-	out.Zero()
-	// Parallelize over output rows (columns of a) to avoid write contention.
-	parallelRows(a.Cols, 4, func(r0, r1 int) {
-		for p := 0; p < a.Rows; p++ {
-			arow := a.Data[p*a.Cols : (p+1)*a.Cols]
-			brow := b.Data[p*b.Cols : (p+1)*b.Cols]
-			for r := r0; r < r1; r++ {
-				av := arow[r]
-				if av == 0 {
-					continue
-				}
-				axpy(av, brow, out.Data[r*b.Cols:(r+1)*b.Cols])
-			}
-		}
-	})
+	// Parallelism is over output rows (columns of a) to avoid write
+	// contention.
+	runtime.TMatMul(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols)
 }
 
 // Add returns a+b elementwise.
@@ -183,18 +107,17 @@ func Add(a, b *Matrix) *Matrix {
 	return out
 }
 
-// AddInPlace computes a += b.
+// AddInPlace computes a += b, fanning out on the pool for large matrices
+// (1·x is exact in IEEE arithmetic, so delegating to Axpy is bit-neutral).
 func AddInPlace(a, b *Matrix) {
 	a.mustSameShape(b, "AddInPlace")
-	for i, v := range b.Data {
-		a.Data[i] += v
-	}
+	runtime.Axpy(1, b.Data, a.Data)
 }
 
 // AxpyInPlace computes a += alpha*b.
 func AxpyInPlace(a *Matrix, alpha float32, b *Matrix) {
 	a.mustSameShape(b, "AxpyInPlace")
-	axpy(alpha, b.Data, a.Data)
+	runtime.Axpy(alpha, b.Data, a.Data)
 }
 
 // Sub returns a-b elementwise.
@@ -216,29 +139,28 @@ func Scale(alpha float32, a *Matrix) *Matrix {
 	return out
 }
 
-// ScaleInPlace computes a *= alpha.
+// ScaleInPlace computes a *= alpha, fanning out for large matrices.
 func ScaleInPlace(a *Matrix, alpha float32) {
-	for i := range a.Data {
-		a.Data[i] *= alpha
-	}
+	runtime.Scale(a.Data, alpha)
 }
 
 // Hadamard returns the elementwise product a∘b.
 func Hadamard(a, b *Matrix) *Matrix {
 	a.mustSameShape(b, "Hadamard")
 	out := a.Clone()
-	for i, v := range b.Data {
-		out.Data[i] *= v
-	}
+	HadamardInPlace(out, b)
 	return out
 }
 
-// HadamardInPlace computes a ∘= b.
+// HadamardInPlace computes a ∘= b, fanning out for large matrices.
 func HadamardInPlace(a, b *Matrix) {
 	a.mustSameShape(b, "HadamardInPlace")
-	for i, v := range b.Data {
-		a.Data[i] *= v
-	}
+	Parallel(len(a.Data), 1<<14, func(i0, i1 int) {
+		ad, bd := a.Data[i0:i1], b.Data[i0:i1]
+		for i, v := range bd {
+			ad[i] *= v
+		}
+	})
 }
 
 // ScaleColsInPlace multiplies column j of a by s[j].

@@ -3,10 +3,17 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"apollo/internal/runtime"
 )
 
 // Sum returns the sum of all elements (accumulated in float64 for accuracy).
+// Large matrices reduce in parallel over the runtime package's fixed chunk
+// grid, which keeps the bits independent of the worker count.
 func (m *Matrix) Sum() float64 {
+	if len(m.Data) >= runtime.ParallelReduceMin {
+		return runtime.SumChunked(m.Data)
+	}
 	var s float64
 	for _, v := range m.Data {
 		s += float64(v)
@@ -23,8 +30,12 @@ func (m *Matrix) AbsSum() float64 {
 	return s
 }
 
-// SqNorm returns the squared Frobenius norm.
+// SqNorm returns the squared Frobenius norm. Large matrices reduce in
+// parallel over the fixed chunk grid (worker-count independent bits).
 func (m *Matrix) SqNorm() float64 {
+	if len(m.Data) >= runtime.ParallelReduceMin {
+		return runtime.SqNormChunked(m.Data)
+	}
 	var s float64
 	for _, v := range m.Data {
 		s += float64(v) * float64(v)

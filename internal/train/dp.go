@@ -1,0 +1,174 @@
+// Data-parallel pre-training: the measured counterpart of the DDP mechanism
+// internal/cluster simulates. A global batch is sharded across N model
+// replicas, each replica runs forward/backward concurrently on its shard,
+// and gradients are all-reduced before a single optimizer step on the
+// master parameters — so the cluster simulator's predicted speedup and the
+// speedup measured here can be compared directly (see `apollo-bench -run
+// runtime` and BENCH_runtime.json).
+//
+// Determinism contract. The gradient of a global batch is *defined* as the
+// balanced binary-tree sum of per-sequence gradient leaves, and the loss as
+// the same tree over per-sequence loss sums; cross-entropy normalizes every
+// shard by the global target count (nn.CrossEntropyShard). Leaves and tree
+// depend only on the batch — never on the replica count or scheduling — so
+// DPPretrain is bit-identical for any Replicas value: `-replicas 4`
+// reproduces `-replicas 1` exactly, float by float. (The classic fused
+// Pretrain loop computes the same mathematical gradient in one big
+// forward/backward; its float32 rounding differs, so DP runs are compared
+// against DP runs and the fused loop stays the default for single-process
+// training.)
+package train
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"apollo/internal/data"
+	"apollo/internal/nn"
+	"apollo/internal/optim"
+	"apollo/internal/tensor"
+)
+
+// DPConfig controls a data-parallel pre-training run.
+type DPConfig struct {
+	PretrainConfig
+	// Replicas is the number of model replicas sharding each batch
+	// (clamped to [1, Batch]). Results are bit-identical for every value.
+	Replicas int
+}
+
+// dpReplica is one model copy with its parameter list cached.
+type dpReplica struct {
+	model  *nn.Model
+	params []*nn.Param
+}
+
+// DPPretrain runs the causal-LM loop of Pretrain with data-parallel
+// gradient computation. model holds the master weights; opt steps them.
+func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg DPConfig) Result {
+	pcfg := cfg.PretrainConfig.withDefaults()
+	replicas := cfg.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > pcfg.Batch {
+		replicas = pcfg.Batch
+	}
+
+	start := time.Now()
+	master := model.Params().List()
+
+	reps := make([]*dpReplica, replicas)
+	for r := range reps {
+		rm := nn.NewModel(model.Cfg, tensor.NewRNG(uint64(r)+1))
+		reps[r] = &dpReplica{model: rm, params: rm.Params().List()}
+	}
+
+	// One gradient leaf per sequence of the global batch, plus its loss sum.
+	b, t := pcfg.Batch, pcfg.Seq
+	leaves := make([][]*tensor.Matrix, b)
+	for s := range leaves {
+		bufs := make([]*tensor.Matrix, len(master))
+		for i, p := range master {
+			bufs[i] = tensor.NewMatrix(p.W.Rows, p.W.Cols)
+		}
+		leaves[s] = bufs
+	}
+	lossSums := make([]float64, b)
+
+	var series []Metric
+	for step := 0; step < pcfg.Steps; step++ {
+		if pcfg.Schedule != nil {
+			opt.SetLR(pcfg.Schedule.At(step))
+		}
+		batch := corpus.NextTrainBatch(b, t)
+		counted := nn.CountTargets(batch.Targets, -1)
+
+		// Broadcast master weights to every replica (the DDP sync point).
+		for _, rep := range reps {
+			for i, p := range master {
+				rep.params[i].W.CopyFrom(p.W)
+			}
+		}
+
+		// A batch with no non-ignored targets has zero loss and zero
+		// gradient (the fused CrossEntropy convention); skip the shard
+		// compute rather than hand CrossEntropyShard a zero normalizer.
+		if counted == 0 {
+			for s := range leaves {
+				for _, buf := range leaves[s] {
+					buf.Zero()
+				}
+				lossSums[s] = 0
+			}
+		}
+
+		// Concurrent sharded forward/backward: replica r owns the
+		// contiguous sequence range [r·B/N, (r+1)·B/N).
+		var wg sync.WaitGroup
+		for r := 0; r < replicas && counted > 0; r++ {
+			lo, hi := r*b/replicas, (r+1)*b/replicas
+			wg.Add(1)
+			go func(rep *dpReplica, lo, hi int) {
+				defer wg.Done()
+				for s := lo; s < hi; s++ {
+					rep.model.Params().ZeroGrad()
+					toks := batch.Tokens[s*t : (s+1)*t]
+					tgts := batch.Targets[s*t : (s+1)*t]
+					lossSums[s] = rep.model.LossShard(toks, tgts, 1, t, counted)
+					for i, p := range rep.params {
+						leaves[s][i].CopyFrom(p.Grad)
+					}
+				}
+			}(reps[r], lo, hi)
+		}
+		wg.Wait()
+
+		// All-reduce: balanced binary tree over leaf indices. The pairing
+		// depends only on B, so the float32 sums are replica-count
+		// independent. The result lands in leaf 0.
+		for stride := 1; stride < b; stride *= 2 {
+			for i := 0; i+stride < b; i += 2 * stride {
+				for j := range leaves[i] {
+					tensor.AddInPlace(leaves[i][j], leaves[i+stride][j])
+				}
+				lossSums[i] += lossSums[i+stride]
+			}
+		}
+		for i, p := range master {
+			p.Grad.CopyFrom(leaves[0][i])
+		}
+		loss := 0.0
+		if counted > 0 {
+			loss = lossSums[0] / float64(counted)
+		}
+
+		if pcfg.ClipNorm > 0 {
+			model.Params().ClipGradNorm(pcfg.ClipNorm)
+		}
+		opt.Step(master)
+
+		if pcfg.EvalEvery > 0 && (step+1)%pcfg.EvalEvery == 0 {
+			val := Validate(model, corpus, pcfg.EvalBatches, b, t)
+			series = append(series, Metric{
+				Step: step + 1, TrainLoss: loss, ValLoss: val,
+				ValPPL: math.Exp(val), LR: opt.LR(),
+			})
+			pcfg.Logf("[%s x%d] step %d/%d train %.4f val ppl %.2f",
+				opt.Name(), replicas, step+1, pcfg.Steps, loss, math.Exp(val))
+		}
+	}
+	final := Validate(model, corpus, pcfg.EvalBatches, b, t)
+	series = append(series, Metric{
+		Step: pcfg.Steps, ValLoss: final, ValPPL: math.Exp(final), LR: opt.LR(),
+	})
+	return Result{
+		Optimizer:   opt.Name(),
+		Series:      series,
+		FinalValPPL: math.Exp(final),
+		StateBytes:  opt.StateBytes(),
+		WallSeconds: time.Since(start).Seconds(),
+		Steps:       pcfg.Steps,
+	}
+}
