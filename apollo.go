@@ -24,6 +24,7 @@ import (
 	rt "apollo/internal/runtime"
 	"apollo/internal/tensor"
 	"apollo/internal/train"
+	"apollo/internal/zero"
 )
 
 // Re-exported model types.
@@ -123,6 +124,22 @@ type DPConfig = train.DPConfig
 // for every replica count; see internal/train/dp.go for the contract.
 func DPPretrain(m *Model, opt Optimizer, corpus *Corpus, cfg DPConfig) Result {
 	return train.DPPretrain(m, opt, corpus, cfg)
+}
+
+// ZeRO is a ZeRO-style sharded-state wrapper around any optimizer: the
+// parameter list is partitioned into N deterministic, state-balanced owner
+// shards and each shard runs its own inner optimizer instance.
+type ZeRO = zero.Sharded
+
+// NewZeRO wraps an optimizer constructor in ZeRO-style state sharding
+// across the given replica count. Used with DPPretrain at the same replica
+// count, training stays bit-identical to the unsharded single-replica run
+// while each replica holds only ~1/N of the optimizer state (see
+// internal/zero for the determinism contract; Result.ReplicaStateBytes
+// reports the measured per-replica footprint). The wrapper is also a valid
+// drop-in Optimizer for the fused loop.
+func NewZeRO(build func() Optimizer, replicas int) *ZeRO {
+	return zero.NewSharded(build, replicas)
 }
 
 // SetWorkers resizes the shared tensor worker pool (default GOMAXPROCS).

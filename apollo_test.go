@@ -58,3 +58,36 @@ func TestFacadeBaselines(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeZeRO exercises the sharded-optimizer surface: a ZeRO-wrapped
+// AdamW under DPPretrain must reproduce the plain single-replica run
+// bit-for-bit while reporting per-replica state footprints.
+func TestFacadeZeRO(t *testing.T) {
+	cfg := ModelConfig{Vocab: 64, Dim: 16, Hidden: 32, Heads: 2, Layers: 2, MaxSeq: 32}
+	run := func(opt Optimizer, replicas int) Result {
+		corpus, err := NewCorpus(cfg.Vocab, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := NewModel(cfg, 7)
+		return DPPretrain(model, opt, corpus, DPConfig{
+			PretrainConfig: PretrainConfig{Batch: 4, Seq: 16, Steps: 10},
+			Replicas:       replicas,
+		})
+	}
+	plain := run(NewAdamW(Hyper{LR: 0.01}), 1)
+	sharded := run(NewZeRO(func() Optimizer { return NewAdamW(Hyper{LR: 0.01}) }, 4), 4)
+	if sharded.FinalValPPL != plain.FinalValPPL {
+		t.Fatalf("zero ppl %v != plain %v", sharded.FinalValPPL, plain.FinalValPPL)
+	}
+	if len(sharded.ReplicaStateBytes) != 4 {
+		t.Fatalf("replica state entries %d", len(sharded.ReplicaStateBytes))
+	}
+	var sum int64
+	for _, b := range sharded.ReplicaStateBytes {
+		sum += b
+	}
+	if sum != plain.StateBytes {
+		t.Fatalf("sharded state sum %d != unsharded %d", sum, plain.StateBytes)
+	}
+}

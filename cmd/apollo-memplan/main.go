@@ -5,6 +5,7 @@
 //
 //	apollo-memplan -model 7B -method APOLLO-Mini -int8 -layerwise -ckpt
 //	apollo-memplan -model 13B -method AdamW -seq 256
+//	apollo-memplan -model 7B -method AdamW -zero 8   # ZeRO-sharded states
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 		int8W     = flag.Bool("int8", false, "INT8 group-quantized weights")
 		layerwise = flag.Bool("layerwise", false, "layer-wise gradient updates")
 		ckpt      = flag.Bool("ckpt", false, "full activation checkpointing")
+		zeroWorld = flag.Int("zero", 0, "ZeRO-shard optimizer states across N replicas (0 = unsharded)")
 	)
 	flag.Parse()
 
@@ -43,9 +45,13 @@ func main() {
 		Config: cfg, Method: m, Rank: *rank,
 		SeqLen: *seq, MicroBatch: *micro,
 		Int8Weights: *int8W, LayerWiseGrad: *layerwise, ActivationCkpt: *ckpt,
+		ZeroWorld: *zeroWorld,
 	}
 	b := memmodel.Compute(plan)
 	fmt.Printf("%s + %s (rank %d), seq %d, micro-batch %d\n", cfg.Name, m.Name, effRank(cfg, *rank), *seq, *micro)
+	if *zeroWorld > 1 {
+		fmt.Printf("  optimizer states ZeRO-sharded across %d replicas (per-replica plan)\n", *zeroWorld)
+	}
 	fmt.Printf("  weights      %8.2f GiB\n", memmodel.GiB(b.Weights))
 	fmt.Printf("  gradients    %8.2f GiB\n", memmodel.GiB(b.Gradients))
 	fmt.Printf("  optim states %8.2f GiB\n", memmodel.GiB(b.States))

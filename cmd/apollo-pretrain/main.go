@@ -6,22 +6,30 @@
 //	apollo-pretrain -size 130M -optimizer APOLLO-Mini -steps 300
 //	apollo-pretrain -size 60M -optimizer GaLore -rank 8 -lr 0.003
 //	apollo-pretrain -size 60M -replicas 4 -workers 8   # data-parallel
+//	apollo-pretrain -size 60M -replicas 4 -zero        # + sharded optimizer states
+//	apollo-pretrain -size 60M -accum 4                 # gradient accumulation
 //
 // -replicas N shards each batch across N model replicas with an exact
 // all-reduce: the loss curve is bit-identical for every N (see
-// internal/train/dp.go for the determinism contract). -workers sizes the
-// shared tensor worker pool; it never changes results, only speed.
+// internal/train/dp.go for the determinism contract). -zero additionally
+// partitions the optimizer state across the replicas ZeRO-style — still
+// bit-identical, but each replica holds only ~1/N of the state (see
+// internal/zero). -accum k splits each fused-loop batch into k
+// gradient-accumulation micro-batches. -workers sizes the shared tensor
+// worker pool; it never changes results, only speed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"apollo/internal/bench"
 	"apollo/internal/optim"
 	rt "apollo/internal/runtime"
 	"apollo/internal/train"
+	"apollo/internal/zero"
 )
 
 func main() {
@@ -35,9 +43,16 @@ func main() {
 		lr       = flag.Float64("lr", 0, "peak learning rate (0 = proxy default)")
 		seed     = flag.Uint64("seed", 1, "run seed")
 		replicas = flag.Int("replicas", 0, "data-parallel replicas (0 = classic fused loop)")
+		zeroOpt  = flag.Bool("zero", false, "shard optimizer states across the replicas (requires -replicas)")
+		accum    = flag.Int("accum", 0, "gradient-accumulation micro-batches per step (fused loop)")
 		workers  = flag.Int("workers", 0, "tensor worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *zeroOpt && *replicas < 1 {
+		fmt.Fprintln(os.Stderr, "-zero requires -replicas N with N ≥ 1")
+		os.Exit(1)
+	}
 
 	if *workers > 0 {
 		rt.SetWorkers(*workers)
@@ -70,6 +85,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *zeroOpt {
+		opt = zero.NewSharded(func() optim.Optimizer {
+			o, err := bench.BuildOptimizer(*method, proxy.LR, r, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return o
+		}, *replicas)
+	}
 	corpus, err := bench.NewCorpus(*seed + 17)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -83,18 +108,34 @@ func main() {
 		Batch: proxy.Batch, Seq: proxy.Seq, Steps: proxy.Steps,
 		EvalEvery: maxInt(1, proxy.Steps/10), EvalBatches: 4,
 		Schedule: optim.NewWarmupCosine(proxy.LR, proxy.Steps),
+		Accum:    *accum,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
 	}
 	var res train.Result
 	if *replicas > 0 {
-		fmt.Printf("data-parallel: %d replicas sharding the global batch of %d\n", *replicas, proxy.Batch)
+		mode := "data-parallel"
+		if *zeroOpt {
+			mode = "data-parallel + ZeRO-sharded optimizer states"
+		}
+		fmt.Printf("%s: %d replicas sharding the global batch of %d\n", mode, *replicas, proxy.Batch)
 		res = train.DPPretrain(model, opt, corpus, train.DPConfig{PretrainConfig: pcfg, Replicas: *replicas})
 	} else {
+		if *accum > 1 {
+			fmt.Printf("gradient accumulation: %d micro-batches per step\n", *accum)
+		}
 		res = train.Pretrain(model, opt, corpus, pcfg)
 	}
 	fmt.Printf("\nfinal: %s\n", res.String())
+	if len(res.ReplicaStateBytes) > 0 {
+		per := make([]string, len(res.ReplicaStateBytes))
+		for i, b := range res.ReplicaStateBytes {
+			per[i] = train.FormatBytes(b)
+		}
+		fmt.Printf("per-replica optimizer states: [%s] (aggregate %s)\n",
+			strings.Join(per, " "), train.FormatBytes(res.StateBytes))
+	}
 }
 
 func maxInt(a, b int) int {

@@ -1,0 +1,22 @@
+package bench
+
+import (
+	"apollo/internal/memmodel"
+	"apollo/internal/nn"
+)
+
+// ShapesOf converts a live model's parameter list into memmodel shapes so
+// the analytic state formulas can be evaluated on proxy models and
+// cross-checked against measured Optimizer.StateBytes. Only genuine 2-D
+// weight matrices are projection-eligible — embeddings and vectors take the
+// dense fallback, exactly the policy every optimizer in the zoo applies.
+func ShapesOf(params []*nn.Param) []memmodel.Shape {
+	out := make([]memmodel.Shape, len(params))
+	for i, p := range params {
+		out[i] = memmodel.Shape{
+			Name: p.Name, Rows: p.W.Rows, Cols: p.W.Cols,
+			Projectable: p.Kind == nn.KindMatrix,
+		}
+	}
+	return out
+}

@@ -142,6 +142,11 @@ type Workload struct {
 	Ckpt        bool
 	LayerWise   bool
 	Int8Weights bool
+	// ZeroShard partitions optimizer states ZeRO-style across the World
+	// replicas: per-GPU state memory and the optimizer pass drop to ~1/World,
+	// at the price of an extra post-step weight broadcast (each replica must
+	// receive the (World−1)/World fraction of the weights it does not own).
+	ZeroShard bool
 }
 
 // StepBreakdown decomposes one optimizer-step wall time (seconds).
@@ -164,6 +169,9 @@ func MaxMicroBatch(w Workload, prof OptimizerProfile) int {
 			Config: w.Config, Method: prof.Method, Rank: prof.Rank,
 			SeqLen: w.SeqLen, MicroBatch: b,
 			Int8Weights: w.Int8Weights, LayerWiseGrad: w.LayerWise, ActivationCkpt: w.Ckpt,
+		}
+		if w.ZeroShard {
+			plan.ZeroWorld = w.World
 		}
 		if memmodel.Compute(plan).Total() <= w.Dev.MemBytes {
 			best = b
@@ -215,7 +223,8 @@ func StepTime(w Workload, prof OptimizerProfile, micro int) StepBreakdown {
 	compute := microSteps * (tokensPerMicro*flopsPerToken/eff + w.Dev.LaunchOverhead)
 
 	// Optimizer pass: memory-bound over weights+grads+states, plus the
-	// per-step projection matmuls.
+	// per-step projection matmuls. Under ZeRO sharding each replica steps
+	// only its ~1/World of the parameters.
 	optBytes := params * prof.StateBytesTouched
 	opt := optBytes / w.Dev.HBMBW
 	if prof.ProjectionFlopsPerParam > 0 {
@@ -224,12 +233,21 @@ func StepTime(w Workload, prof OptimizerProfile, micro int) StepBreakdown {
 	if prof.FullRankResidual {
 		opt += params * 4 / w.Dev.HBMBW
 	}
+	if w.ZeroShard && w.World > 1 {
+		opt /= float64(w.World)
+	}
 
-	// Ring all-reduce of BF16 gradients once per optimizer step.
+	// Ring all-reduce of BF16 gradients once per optimizer step; with
+	// sharded states, also the post-step weight broadcast — every replica
+	// receives the (World−1)/World fraction of the weights it doesn't own.
 	var comm float64
 	if w.World > 1 {
 		gradBytes := params * memmodel.BytesBF16
 		comm = 2 * gradBytes * float64(w.World-1) / float64(w.World) / w.Dev.LinkBW
+		if w.ZeroShard {
+			wtBytes := params * memmodel.BytesBF16
+			comm += wtBytes * float64(w.World-1) / float64(w.World) / w.Dev.LinkBW
+		}
 	}
 
 	var svd float64

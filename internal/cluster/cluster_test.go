@@ -166,3 +166,51 @@ func TestDescribeOOM(t *testing.T) {
 		t.Fatal("empty description")
 	}
 }
+
+func TestZeroShardMemoryAndComm(t *testing.T) {
+	// ZeRO sharding across 8 GPUs: per-replica state memory drops ~1/8, so
+	// the feasible micro-batch can only grow; comm grows by the weight
+	// broadcast; the optimizer pass shrinks.
+	w := workload7B()
+	z := w
+	z.ZeroShard = true
+	prof := ProfileAdamW()
+
+	plain := MaxMicroBatch(w, prof)
+	sharded := MaxMicroBatch(z, prof)
+	if sharded < plain {
+		t.Fatalf("sharded micro-batch %d < plain %d", sharded, plain)
+	}
+
+	micro := plain
+	stPlain := StepTime(w, prof, micro)
+	stZero := StepTime(z, prof, micro)
+	if stZero.Comm <= stPlain.Comm {
+		t.Fatalf("sharded comm %v must exceed plain %v (weight broadcast)", stZero.Comm, stPlain.Comm)
+	}
+	if stZero.Optimizer >= stPlain.Optimizer {
+		t.Fatalf("sharded optimizer pass %v must be under plain %v", stZero.Optimizer, stPlain.Optimizer)
+	}
+
+	// The per-replica state prediction matches the memmodel division.
+	cfg := w.Config
+	full := memmodel.OptimizerStateBytes(cfg, memmodel.MethodAdamW, cfg.DefaultRank())
+	per := memmodel.ShardedOptimizerStateBytes(cfg, memmodel.MethodAdamW, cfg.DefaultRank(), w.World)
+	if per*float64(w.World) != full {
+		t.Fatalf("sharded prediction %v × %d != full %v", per, w.World, full)
+	}
+}
+
+func TestZeroShardSingleWorldNoop(t *testing.T) {
+	w := workload7B()
+	w.World = 1
+	z := w
+	z.ZeroShard = true
+	prof := ProfileAPOLLO(256)
+	if MaxMicroBatch(w, prof) != MaxMicroBatch(z, prof) {
+		t.Fatal("ZeroShard must be a no-op at world 1")
+	}
+	if StepTime(w, prof, 4) != StepTime(z, prof, 4) {
+		t.Fatal("ZeroShard step time must match at world 1")
+	}
+}

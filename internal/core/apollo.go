@@ -153,6 +153,46 @@ func (a *APOLLO) projectable(p *nn.Param) bool {
 	return m > a.cfg.Rank
 }
 
+// StateElemsFor implements optim.StateIntrospector (Table 1: 2nr + 2 — the
+// auxiliary moments plus the projection seed and the limiter's previous
+// norm; the SVD variant persists its r×m projection instead of the seed).
+// APOLLO's projectability rule matches the shared low-rank policy, so the
+// shared accounting applies with extra = 1 for prevNorm.
+func (a *APOLLO) StateElemsFor(p *nn.Param) int64 {
+	return optim.ProjectedStateElems(p, a.cfg.Rank, a.cfg.Projection, 1)
+}
+
+// RowSplittable implements optim.StateIntrospector: only the dense AdamW
+// fallback is element-wise; projected matrices couple whole channels.
+func (a *APOLLO) RowSplittable(p *nn.Param) bool { return !a.projectable(p) }
+
+// PrepareShard implements optim.StateSharder: APOLLO draws one projector
+// seed per projectable parameter from its RNG at first touch, in step
+// order. For ZeRO-style partitioning (internal/zero) this walks the full
+// parameter list in global order — consuming the seed stream exactly as an
+// unsharded first Step would — while allocating the auxiliary moments only
+// for the owned shard, so a shard-local APOLLO is bit-identical to the
+// unsharded instance on its parameters at ~1/N of the state.
+func (a *APOLLO) PrepareShard(all []*nn.Param, owned func(*nn.Param) bool) {
+	optim.PrepareProjectedShard(all, owned, a.projectable, a.rng.Uint64,
+		func(p *nn.Param, seed uint64) {
+			if _, ok := a.states[p]; ok {
+				return
+			}
+			trans := p.W.Rows > p.W.Cols
+			n := p.W.Cols
+			if trans {
+				n = p.W.Rows
+			}
+			a.states[p] = &apolloState{
+				proj:  linalg.NewProjector(a.cfg.Projection, a.cfg.Rank, seed),
+				mR:    tensor.NewMatrix(a.cfg.Rank, n),
+				vR:    tensor.NewMatrix(a.cfg.Rank, n),
+				trans: trans,
+			}
+		})
+}
+
 // Step implements optim.Optimizer (Algorithm 1).
 func (a *APOLLO) Step(ps []*nn.Param) {
 	var fallback []*nn.Param

@@ -191,11 +191,14 @@ func MethodByName(name string) (Method, error) {
 	return Method{}, fmt.Errorf("memmodel: unknown method %q", name)
 }
 
-// OptimizerStateBytes returns the optimizer-state footprint for cfg under
-// the method at the given rank. APOLLO-Mini ignores the rank (always 1).
-func OptimizerStateBytes(cfg LLaMAConfig, m Method, rank int) float64 {
+// StateElems returns the optimizer-state element count for an arbitrary
+// shape list under the method at the given rank — the shape-level core of
+// OptimizerStateBytes, exposed so live models (whose parameter shapes are
+// not a paper config) can be predicted too and cross-checked against
+// measured Optimizer.StateBytes (see internal/bench's parity test).
+func StateElems(shapes []Shape, m Method, rank int) float64 {
 	var elems float64
-	for _, s := range cfg.Shapes() {
+	for _, s := range shapes {
 		rows, cols := int64(s.Rows), int64(s.Cols)
 		mm, nn := rows, cols
 		if mm > nn {
@@ -207,7 +210,28 @@ func OptimizerStateBytes(cfg LLaMAConfig, m Method, rank int) float64 {
 			elems += m.FallbackPerElem * float64(s.NumEl())
 		}
 	}
-	return elems * m.StateBytesPer
+	return elems
+}
+
+// OptimizerStateBytes returns the optimizer-state footprint for cfg under
+// the method at the given rank. APOLLO-Mini ignores the rank (always 1).
+func OptimizerStateBytes(cfg LLaMAConfig, m Method, rank int) float64 {
+	return StateElems(cfg.Shapes(), m, rank) * m.StateBytesPer
+}
+
+// ShardedOptimizerStateBytes predicts the per-replica optimizer-state
+// footprint under ZeRO-style partitioning across world replicas: the
+// unsharded footprint divided evenly. internal/zero's partitioner balances
+// by introspected state cost at row-segment granularity, so the measured
+// per-replica deviation from this ideal is bounded by the largest
+// indivisible (projected) parameter's state — small by construction, and
+// tolerance-checked in the `zero` bench experiment.
+func ShardedOptimizerStateBytes(cfg LLaMAConfig, m Method, rank, world int) float64 {
+	b := OptimizerStateBytes(cfg, m, rank)
+	if world > 1 {
+		b /= float64(world)
+	}
+	return b
 }
 
 // Plan describes a full training-memory scenario.
@@ -229,6 +253,10 @@ type Plan struct {
 	// ActivationCkpt recomputes activations in the backward pass, keeping
 	// only per-layer boundary activations.
 	ActivationCkpt bool
+	// ZeroWorld partitions optimizer states ZeRO-style across this many
+	// data-parallel replicas (0 or 1 = unsharded); the plan then describes
+	// one replica's footprint.
+	ZeroWorld int
 }
 
 // Breakdown is the per-component memory accounting in bytes.
@@ -296,6 +324,9 @@ func Compute(p Plan) Breakdown {
 		rank = cfg.DefaultRank()
 	}
 	out.States = OptimizerStateBytes(cfg, p.Method, rank)
+	if p.ZeroWorld > 1 {
+		out.States /= float64(p.ZeroWorld)
+	}
 
 	out.Activations = activationBytes(cfg, p.SeqLen, p.MicroBatch, p.ActivationCkpt)
 	return out

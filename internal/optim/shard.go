@@ -1,0 +1,237 @@
+// ZeRO-style state partitioning hooks (Rajbhandari et al., 2020; the
+// state-sharding lineage of Anil et al., 2019). Every optimizer in this zoo
+// keeps per-parameter state, so an external partitioner (internal/zero) can
+// hand each replica a disjoint sub-slice of the parameter list and have each
+// inner optimizer step only its shard. Two things make that bit-identical to
+// an unsharded run:
+//
+//  1. Per-parameter independence: Step's update for a parameter reads only
+//     that parameter's gradient and state. This holds for the whole zoo
+//     (clipping, the one cross-parameter coupling, happens in the trainer
+//     before Step).
+//  2. Order-independent randomness: the seeded-projection methods (GaLore,
+//     Fira, Flora, APOLLO) draw one projector seed per parameter from a
+//     shared RNG at first touch — in *step order*. A sharded optimizer that
+//     only ever sees its shard would draw a different seed sequence, so it
+//     must pre-walk the full list via StateSharder.
+package optim
+
+import (
+	"apollo/internal/linalg"
+	"apollo/internal/nn"
+)
+
+// StateSharder is the state-introspection hook for partitioned optimizers.
+// PrepareShard walks the FULL parameter list in global order, consuming any
+// order-dependent randomness exactly as an unsharded first Step would, but
+// allocates state only for parameters where owned(p) is true. After
+// PrepareShard, stepping only the owned sub-slice produces per-parameter
+// updates bit-identical to the unsharded optimizer.
+//
+// Optimizers without order-dependent randomness (AdamW, SGD, Adam-mini)
+// need no hook: their lazy per-parameter state is already subset-safe. The
+// 8-bit variants are NOT shardable — stochastic rounding draws from a
+// shared RNG on every step, so their updates depend on which parameters an
+// instance steps.
+type StateSharder interface {
+	PrepareShard(all []*nn.Param, owned func(*nn.Param) bool)
+}
+
+// StateIntrospector describes an optimizer's per-parameter state without
+// allocating it, so a partitioner can balance by actual state cost (the
+// quantity ZeRO divides) instead of parameter size — for low-rank methods
+// the two differ wildly: a dense-fallback embedding carries 2·mn state
+// while a projected matrix of the same size carries only 2·nr.
+type StateIntrospector interface {
+	// StateElemsFor returns the resident state element count Step would
+	// allocate for p.
+	StateElemsFor(p *nn.Param) int64
+	// RowSplittable reports whether Step's update for p is element-wise
+	// (or per-row), so ownership of p may be split across row ranges with
+	// bit-identical results. Projected parameters are never splittable —
+	// their subspace statistics couple the whole matrix.
+	RowSplittable(p *nn.Param) bool
+}
+
+// Segment is a row range [Row0, Row1) of the parameter at index Param in
+// the Init list — the ownership granularity of the partitioned optimizer.
+// Whole parameters are the common case (Row0=0, Row1=Rows); large
+// element-wise parameters are split finer, mirroring ZeRO's flat
+// partitioning, so no single tensor's state can unbalance the shards.
+type Segment struct {
+	Param      int
+	Row0, Row1 int
+}
+
+// ShardedStepper is what a ZeRO-style wrapper (internal/zero) exposes to
+// the data-parallel trainer: a partition of the parameter list into owner
+// shards plus per-shard stepping, so the trainer can run each shard's
+// optimizer on its owner replica and tree-broadcast the updated weights.
+type ShardedStepper interface {
+	Optimizer
+	// Init fixes the parameter list, partitions it and prepares the
+	// per-shard inner optimizers. Idempotent for the same list.
+	Init(all []*nn.Param)
+	// Shards returns the number of owner shards.
+	Shards() int
+	// OwnedSegments returns the row segments owned by a shard, in
+	// ascending (Param, Row0) order. Segments of distinct shards are
+	// disjoint and together tile every parameter exactly once.
+	OwnedSegments(shard int) []Segment
+	// StepShard runs the shard's inner optimizer on its owned segments.
+	// Distinct shards touch disjoint rows and may run concurrently.
+	StepShard(shard int)
+	// ReplicaStateBytes reports each shard's resident optimizer-state
+	// footprint; the sum is the unsharded StateBytes.
+	ReplicaStateBytes() []int64
+}
+
+// StateElemsFor implements StateIntrospector: dense first+second moments.
+func (a *AdamW) StateElemsFor(p *nn.Param) int64 { return 2 * int64(p.NumEl()) }
+
+// RowSplittable implements StateIntrospector: the AdamW update is fully
+// element-wise.
+func (a *AdamW) RowSplittable(p *nn.Param) bool { return true }
+
+// StateElemsFor implements StateIntrospector: velocity only with momentum.
+func (s *SGD) StateElemsFor(p *nn.Param) int64 {
+	if s.Momentum > 0 {
+		return int64(p.NumEl())
+	}
+	return 0
+}
+
+// RowSplittable implements StateIntrospector: element-wise update.
+func (s *SGD) RowSplittable(p *nn.Param) bool { return true }
+
+// StateElemsFor implements StateIntrospector: full M plus one block second
+// moment per row (one total for vectors).
+func (a *AdamMini) StateElemsFor(p *nn.Param) int64 {
+	if p.Kind == nn.KindVector {
+		return int64(p.NumEl()) + 1
+	}
+	return int64(p.NumEl()) + int64(p.W.Rows)
+}
+
+// RowSplittable implements StateIntrospector: matrix/embedding blocks are
+// per-row, so row splits preserve them exactly; vectors share one block.
+func (a *AdamMini) RowSplittable(p *nn.Param) bool { return p.Kind != nn.KindVector }
+
+// ProjectedStateElems is the shared Table 1 accounting for a projected
+// optimizer: moments in the r×n auxiliary space plus the projector's
+// resident floats, plus extra per-parameter scalars; dense AdamW states
+// otherwise. internal/core reuses it for APOLLO (extra = 1: the limiter's
+// previous norm).
+func ProjectedStateElems(p *nn.Param, rank int, kind linalg.ProjectionKind, extra int64) int64 {
+	if !projects(p, rank) {
+		return 2 * int64(p.NumEl())
+	}
+	o := orient(p.W.Rows, p.W.Cols)
+	elems := 2*int64(rank)*int64(o.n) + extra
+	if kind == linalg.SVDProjection {
+		elems += int64(rank) * int64(o.m)
+	} else {
+		elems++ // the stored projection seed
+	}
+	return elems
+}
+
+// StateElemsFor implements StateIntrospector (Table 1: 2nr + mr for SVD).
+func (g *GaLore) StateElemsFor(p *nn.Param) int64 {
+	return ProjectedStateElems(p, g.cfg.Rank, g.cfg.Projection, 0)
+}
+
+// RowSplittable implements StateIntrospector: only the dense fallback is
+// element-wise.
+func (g *GaLore) RowSplittable(p *nn.Param) bool { return !projects(p, g.cfg.Rank) }
+
+// StateElemsFor implements StateIntrospector (Table 1: 2nr + mr + 1).
+func (f *Fira) StateElemsFor(p *nn.Param) int64 {
+	return ProjectedStateElems(p, f.cfg.Rank, f.cfg.Projection, 1)
+}
+
+// RowSplittable implements StateIntrospector.
+func (f *Fira) RowSplittable(p *nn.Param) bool { return !projects(p, f.cfg.Rank) }
+
+// StateElemsFor implements StateIntrospector (Table 1: 2nr + 1).
+func (f *Flora) StateElemsFor(p *nn.Param) int64 {
+	return ProjectedStateElems(p, f.cfg.Rank, linalg.RandomProjection, 0)
+}
+
+// RowSplittable implements StateIntrospector.
+func (f *Flora) RowSplittable(p *nn.Param) bool { return !projects(p, f.cfg.Rank) }
+
+// PrepareProjectedShard is the single copy of the determinism-critical seed
+// walk behind every StateSharder implementation: visit the FULL parameter
+// list in global order, draw one seed per projectable parameter (matching
+// an unsharded first Step exactly), and invoke alloc only for owned
+// parameters. Keeping the skip conditions and draw order in one place is
+// what makes the bit-parity contract a single invariant rather than four
+// copies that can drift.
+func PrepareProjectedShard(all []*nn.Param, owned, projectable func(*nn.Param) bool,
+	nextSeed func() uint64, alloc func(p *nn.Param, seed uint64)) {
+	for _, p := range all {
+		if !projectable(p) {
+			continue
+		}
+		seed := nextSeed()
+		if owned(p) {
+			alloc(p, seed)
+		}
+	}
+}
+
+// PrepareShard implements StateSharder: projector seeds are drawn in global
+// parameter order so a shard-local GaLore matches the unsharded instance.
+func (g *GaLore) PrepareShard(all []*nn.Param, owned func(*nn.Param) bool) {
+	PrepareProjectedShard(all, owned,
+		func(p *nn.Param) bool { return projects(p, g.cfg.Rank) },
+		g.rng.Uint64,
+		func(p *nn.Param, seed uint64) {
+			if _, ok := g.states[p]; ok {
+				return
+			}
+			o := orient(p.W.Rows, p.W.Cols)
+			g.states[p] = &galoreState{
+				proj: linalg.NewProjector(g.cfg.Projection, g.cfg.Rank, seed),
+				adam: newAdamState(g.cfg.Rank, o.n),
+				o:    o,
+			}
+		})
+}
+
+// PrepareShard implements StateSharder (see GaLore.PrepareShard).
+func (f *Fira) PrepareShard(all []*nn.Param, owned func(*nn.Param) bool) {
+	PrepareProjectedShard(all, owned,
+		func(p *nn.Param) bool { return projects(p, f.cfg.Rank) },
+		f.rng.Uint64,
+		func(p *nn.Param, seed uint64) {
+			if _, ok := f.states[p]; ok {
+				return
+			}
+			o := orient(p.W.Rows, p.W.Cols)
+			f.states[p] = &firaState{
+				proj: linalg.NewProjector(f.cfg.Projection, f.cfg.Rank, seed),
+				adam: newAdamState(f.cfg.Rank, o.n),
+				o:    o,
+			}
+		})
+}
+
+// PrepareShard implements StateSharder (see GaLore.PrepareShard).
+func (f *Flora) PrepareShard(all []*nn.Param, owned func(*nn.Param) bool) {
+	PrepareProjectedShard(all, owned,
+		func(p *nn.Param) bool { return projects(p, f.cfg.Rank) },
+		f.rng.Uint64,
+		func(p *nn.Param, seed uint64) {
+			if _, ok := f.states[p]; ok {
+				return
+			}
+			o := orient(p.W.Rows, p.W.Cols)
+			f.states[p] = &floraState{
+				proj: linalg.NewProjector(linalg.RandomProjection, f.cfg.Rank, seed),
+				adam: newAdamState(f.cfg.Rank, o.n),
+				o:    o,
+			}
+		})
+}

@@ -1,0 +1,73 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"apollo/internal/optim"
+)
+
+// accumRun trains a fresh model through the fused loop with the given
+// accumulation factor at a fixed global batch.
+func accumRun(t *testing.T, accum int, seed uint64) (Result, []float32) {
+	t.Helper()
+	model, opt, corpus := dpTestSetup(t, seed)
+	res := Pretrain(model, opt, corpus, PretrainConfig{
+		Batch: 8, Seq: 16, Steps: 6, EvalEvery: 3, EvalBatches: 2, ClipNorm: 1.0,
+		Schedule: optim.NewWarmupCosine(1e-3, 6),
+		Accum:    accum,
+	})
+	var flat []float32
+	for _, p := range model.Params().List() {
+		flat = append(flat, p.W.Data...)
+	}
+	return res, flat
+}
+
+// TestAccumParity checks the gradient-accumulation contract: Accum=k at the
+// same global batch reproduces Accum=1 — identical math (micro-batch
+// cross-entropy is normalized by the global target count), differing only
+// in float32 summation order, so the comparison is tolerance-based exactly
+// like the fused-vs-DP precedent.
+func TestAccumParity(t *testing.T) {
+	const seed = 21
+	ref, refW := accumRun(t, 1, seed)
+	for _, accum := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("accum=%d", accum), func(t *testing.T) {
+			got, gotW := accumRun(t, accum, seed)
+			if len(got.Series) != len(ref.Series) {
+				t.Fatalf("series length %d != %d", len(got.Series), len(ref.Series))
+			}
+			for i := range ref.Series {
+				if d := math.Abs(got.Series[i].ValLoss - ref.Series[i].ValLoss); d > 1e-3 {
+					t.Fatalf("metric %d val loss drifted %v (accum=%d %v vs accum=1 %v)",
+						i, d, accum, got.Series[i].ValLoss, ref.Series[i].ValLoss)
+				}
+			}
+			for i := range refW {
+				if d := math.Abs(float64(gotW[i] - refW[i])); d > 1e-3 {
+					t.Fatalf("weight %d drifted %v beyond tolerance", i, d)
+				}
+			}
+		})
+	}
+}
+
+// TestAccumClampsToDivisor documents the rounding rule: an Accum that does
+// not divide Batch is reduced to the largest divisor, and Accum > Batch
+// degrades to per-sequence micro-batches.
+func TestAccumClampsToDivisor(t *testing.T) {
+	const seed = 22
+	// Batch 8: Accum 5,6,7 → 4; Accum 16 → 8. Equivalence with the
+	// explicit divisor is exact (same micro-batch split, same float order).
+	for _, pair := range [][2]int{{5, 4}, {6, 4}, {16, 8}} {
+		_, got := accumRun(t, pair[0], seed)
+		_, want := accumRun(t, pair[1], seed)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("accum=%d did not clamp to %d (weight %d differs)", pair[0], pair[1], i)
+			}
+		}
+	}
+}

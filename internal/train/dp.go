@@ -46,6 +46,15 @@ type dpReplica struct {
 
 // DPPretrain runs the causal-LM loop of Pretrain with data-parallel
 // gradient computation. model holds the master weights; opt steps them.
+//
+// ZeRO extension. When opt implements optim.ShardedStepper (zero.Sharded),
+// the optimizer step itself is partitioned: each shard's inner optimizer
+// runs concurrently on the shard's owner, and the updated weights reach
+// the other replicas through a per-shard binomial-tree broadcast — the
+// weight-side mirror of the gradient all-reduce tree. Broadcast copies are
+// float-exact, so the sharded run stays bit-identical to `-replicas 1`
+// while each replica's resident optimizer state drops to ~1/N (see
+// Result.ReplicaStateBytes and internal/zero's determinism contract).
 func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg DPConfig) Result {
 	pcfg := cfg.PretrainConfig.withDefaults()
 	replicas := cfg.Replicas
@@ -58,12 +67,29 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 
 	start := time.Now()
 	master := model.Params().List()
+	var paramBytes int64
+	for _, p := range master {
+		paramBytes += 4 * int64(p.NumEl())
+	}
 
 	reps := make([]*dpReplica, replicas)
 	for r := range reps {
 		rm := nn.NewModel(model.Cfg, tensor.NewRNG(uint64(r)+1))
 		reps[r] = &dpReplica{model: rm, params: rm.Params().List()}
 	}
+
+	sharder, sharded := opt.(optim.ShardedStepper)
+	if sharded {
+		sharder.Init(master)
+		// One-time full sync: thereafter replicas stay current through the
+		// per-step weight broadcast instead of a master → replica copy.
+		for _, rep := range reps {
+			for i, p := range master {
+				rep.params[i].W.CopyFrom(p.W)
+			}
+		}
+	}
+	var allReduceBytes, broadcastBytes int64
 
 	// One gradient leaf per sequence of the global batch, plus its loss sum.
 	b, t := pcfg.Batch, pcfg.Seq
@@ -86,10 +112,15 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 		counted := nn.CountTargets(batch.Targets, -1)
 
 		// Broadcast master weights to every replica (the DDP sync point).
-		for _, rep := range reps {
-			for i, p := range master {
-				rep.params[i].W.CopyFrom(p.W)
+		// Under ZeRO this already happened through the post-step shard
+		// broadcast, so the copy (and its comm volume) is skipped.
+		if !sharded {
+			for _, rep := range reps {
+				for i, p := range master {
+					rep.params[i].W.CopyFrom(p.W)
+				}
 			}
+			broadcastBytes += int64(replicas) * paramBytes
 		}
 
 		// A batch with no non-ignored targets has zero loss and zero
@@ -134,6 +165,7 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 					tensor.AddInPlace(leaves[i][j], leaves[i+stride][j])
 				}
 				lossSums[i] += lossSums[i+stride]
+				allReduceBytes += paramBytes
 			}
 		}
 		for i, p := range master {
@@ -147,7 +179,24 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 		if pcfg.ClipNorm > 0 {
 			model.Params().ClipGradNorm(pcfg.ClipNorm)
 		}
-		opt.Step(master)
+		if sharded {
+			// ZeRO phase 1: each owner replica steps only its shard of the
+			// master parameters — disjoint sets, so shards run concurrently.
+			var sg sync.WaitGroup
+			for s := 0; s < sharder.Shards(); s++ {
+				sg.Add(1)
+				go func(s int) {
+					defer sg.Done()
+					sharder.StepShard(s)
+				}(s)
+			}
+			sg.Wait()
+			// ZeRO phase 2: binomial-tree broadcast of each updated shard
+			// from its owner to the other replicas.
+			broadcastBytes += broadcastShards(reps, master, sharder, replicas)
+		} else {
+			opt.Step(master)
+		}
 
 		if pcfg.EvalEvery > 0 && (step+1)%pcfg.EvalEvery == 0 {
 			val := Validate(model, corpus, pcfg.EvalBatches, b, t)
@@ -163,12 +212,74 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 	series = append(series, Metric{
 		Step: pcfg.Steps, ValLoss: final, ValPPL: math.Exp(final), LR: opt.LR(),
 	})
-	return Result{
-		Optimizer:   opt.Name(),
-		Series:      series,
-		FinalValPPL: math.Exp(final),
-		StateBytes:  opt.StateBytes(),
-		WallSeconds: time.Since(start).Seconds(),
-		Steps:       pcfg.Steps,
+	var perReplica []int64
+	if sharded {
+		perReplica = sharder.ReplicaStateBytes()
+	} else {
+		perReplica = make([]int64, replicas)
+		for i := range perReplica {
+			perReplica[i] = opt.StateBytes() // plain DP replicates full state
+		}
 	}
+	return Result{
+		Optimizer:         opt.Name(),
+		Series:            series,
+		FinalValPPL:       math.Exp(final),
+		StateBytes:        opt.StateBytes(),
+		WallSeconds:       time.Since(start).Seconds(),
+		Steps:             pcfg.Steps,
+		ReplicaStateBytes: perReplica,
+		AllReduceBytes:    allReduceBytes,
+		BroadcastBytes:    broadcastBytes,
+	}
+}
+
+// broadcastShards distributes each shard's freshly stepped master weights
+// to every replica with a binomial tree rooted at the shard's owner: the
+// owner copies its shard locally (its own update — no traffic), then in
+// round k every replica holding the shard forwards it stride=2^k ranks
+// ahead, exactly the log₂(N)-depth pattern of the gradient all-reduce.
+// Shards cover disjoint parameter indices, so their trees run concurrently.
+// Copies are float-exact; the returned byte count covers only the
+// inter-replica transfers.
+func broadcastShards(reps []*dpReplica, master []*nn.Param, sharder optim.ShardedStepper, replicas int) int64 {
+	var moved int64
+	var wg sync.WaitGroup
+	for s := 0; s < sharder.Shards(); s++ {
+		segs := sharder.OwnedSegments(s)
+		if len(segs) == 0 {
+			continue
+		}
+		var shardBytes int64
+		for _, sg := range segs {
+			shardBytes += 4 * int64((sg.Row1-sg.Row0)*master[sg.Param].W.Cols)
+		}
+		owner := s % replicas
+		moved += shardBytes * int64(replicas-1)
+		wg.Add(1)
+		go func(segs []optim.Segment, owner int) {
+			defer wg.Done()
+			copySegs := func(dst, src *dpReplica) {
+				for _, sg := range segs {
+					lo := sg.Row0 * master[sg.Param].W.Cols
+					hi := sg.Row1 * master[sg.Param].W.Cols
+					copy(dst.params[sg.Param].W.Data[lo:hi], src.params[sg.Param].W.Data[lo:hi])
+				}
+			}
+			// The owner's copy from master is its own freshly stepped
+			// update — local, no traffic.
+			for _, sg := range segs {
+				lo := sg.Row0 * master[sg.Param].W.Cols
+				hi := sg.Row1 * master[sg.Param].W.Cols
+				copy(reps[owner].params[sg.Param].W.Data[lo:hi], master[sg.Param].W.Data[lo:hi])
+			}
+			for stride := 1; stride < replicas; stride *= 2 {
+				for rel := 0; rel < stride && rel+stride < replicas; rel++ {
+					copySegs(reps[(owner+rel+stride)%replicas], reps[(owner+rel)%replicas])
+				}
+			}
+		}(segs, owner)
+	}
+	wg.Wait()
+	return moved
 }

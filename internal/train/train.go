@@ -32,6 +32,18 @@ type Result struct {
 	StateBytes  int64
 	WallSeconds float64
 	Steps       int
+	// ReplicaStateBytes is the per-replica optimizer-state footprint of a
+	// data-parallel run: under ZeRO sharding each entry is one shard's
+	// resident state (~StateBytes/N); in plain DP every replica holds the
+	// full state, so each entry equals StateBytes. Nil for fused runs.
+	ReplicaStateBytes []int64
+	// AllReduceBytes counts the gradient bytes actually merged by the
+	// balanced-tree all-reduce over the whole run ((B−1)·P·4 per step).
+	AllReduceBytes int64
+	// BroadcastBytes counts the weight bytes copied between replicas over
+	// the whole run: master→replica sync copies in plain DP, the per-shard
+	// binomial-tree broadcast under ZeRO ((N−1)·P·4 per step).
+	BroadcastBytes int64
 }
 
 // PretrainConfig controls a pre-training run.
@@ -45,6 +57,17 @@ type PretrainConfig struct {
 	// ClipNorm applies global gradient clipping when > 0 (the AdamW/GaLore
 	// recipe; APOLLO relies on its norm-growth limiter instead).
 	ClipNorm float64
+	// Accum splits each global batch into Accum gradient-accumulation
+	// micro-batches in the fused loop, decoupling the global batch size
+	// from resident activation memory: only Batch/Accum sequences of
+	// activations are live at once while the optimizer still sees the
+	// full-batch gradient (cross-entropy is normalized by the global
+	// target count, so Accum=k matches Accum=1 up to float32 summation
+	// order — see TestAccumParity). Values that do not divide Batch are
+	// reduced to the largest divisor. The DP trainer ignores Accum: its
+	// per-sequence gradient leaves already keep one sequence of
+	// activations per replica.
+	Accum int
 	// Quiet suppresses progress output.
 	Logf func(format string, args ...any)
 }
@@ -52,6 +75,9 @@ type PretrainConfig struct {
 func (c PretrainConfig) withDefaults() PretrainConfig {
 	if c.EvalBatches == 0 {
 		c.EvalBatches = 4
+	}
+	if c.Accum < 1 {
+		c.Accum = 1
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -67,6 +93,13 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 	start := time.Now()
 	var series []Metric
 	params := model.Params()
+	accum := cfg.Accum
+	if accum > cfg.Batch {
+		accum = cfg.Batch
+	}
+	for cfg.Batch%accum != 0 {
+		accum--
+	}
 
 	for step := 0; step < cfg.Steps; step++ {
 		if cfg.Schedule != nil {
@@ -74,7 +107,12 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 		}
 		batch := corpus.NextTrainBatch(cfg.Batch, cfg.Seq)
 		params.ZeroGrad()
-		loss := model.Loss(batch.Tokens, batch.Targets, batch.B, batch.T)
+		var loss float64
+		if accum == 1 {
+			loss = model.Loss(batch.Tokens, batch.Targets, batch.B, batch.T)
+		} else {
+			loss = lossAccum(model, batch, accum)
+		}
 		if cfg.ClipNorm > 0 {
 			params.ClipGradNorm(cfg.ClipNorm)
 		}
@@ -101,6 +139,28 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 		WallSeconds: time.Since(start).Seconds(),
 		Steps:       cfg.Steps,
 	}
+}
+
+// lossAccum runs forward/backward over the batch in accum micro-batches,
+// accumulating gradients and normalizing by the batch's global non-ignored
+// target count so the accumulated gradient equals the fused full-batch
+// gradient (same math; float32 summation order differs). Only one
+// micro-batch of activations is resident at a time.
+func lossAccum(model *nn.Model, batch data.Batch, accum int) float64 {
+	counted := nn.CountTargets(batch.Targets, -1)
+	if counted == 0 {
+		// The fused CrossEntropy convention: no targets → zero loss and
+		// zero gradient.
+		return 0
+	}
+	micro := batch.B / accum
+	span := micro * batch.T
+	var sum float64
+	for a := 0; a < accum; a++ {
+		lo, hi := a*span, (a+1)*span
+		sum += model.LossShard(batch.Tokens[lo:hi], batch.Targets[lo:hi], micro, batch.T, counted)
+	}
+	return sum / float64(counted)
 }
 
 // Validate returns the mean validation loss over the corpus's fixed
