@@ -16,6 +16,7 @@
 package apollo
 
 import (
+	"apollo/internal/ckpt"
 	"apollo/internal/core"
 	"apollo/internal/data"
 	"apollo/internal/linalg"
@@ -140,6 +141,34 @@ type ZeRO = zero.Sharded
 // drop-in Optimizer for the fused loop.
 func NewZeRO(build func() Optimizer, replicas int) *ZeRO {
 	return zero.NewSharded(build, replicas)
+}
+
+// Checkpoint is a decoded bit-exact training snapshot (internal/ckpt): model
+// weights, step/LR counters, the data-stream cursor and the optimizer's
+// complete persistent state in a canonical, ZeRO-world-independent layout.
+type Checkpoint = ckpt.State
+
+// SaveCheckpoint snapshots a training run after `step` completed steps and
+// writes it atomically to path. The optimizer must support checkpointing
+// (every optimizer in this zoo does); a ZeRO wrapper gathers its shard-owned
+// state into the canonical layout first.
+func SaveCheckpoint(path string, step int, m *Model, opt Optimizer, corpus *Corpus) error {
+	st, err := ckpt.Capture(step, m.Params().List(), opt, corpus)
+	if err != nil {
+		return err
+	}
+	return ckpt.SaveFile(path, st)
+}
+
+// LoadCheckpoint reads and fully CRC-verifies a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return ckpt.LoadFile(path) }
+
+// RestoreCheckpoint installs a snapshot into live objects. Resuming with
+// PretrainConfig.StartStep = st.Step then reproduces the uninterrupted run
+// float-for-float; the optimizer may be wrapped in a different ZeRO world
+// size than the one that saved (elastic resharding).
+func RestoreCheckpoint(st *Checkpoint, m *Model, opt Optimizer, corpus *Corpus) error {
+	return ckpt.Restore(st, m.Params().List(), opt, corpus)
 }
 
 // SetWorkers resizes the shared tensor worker pool (default GOMAXPROCS).

@@ -59,6 +59,57 @@ func TestFacadeBaselines(t *testing.T) {
 	}
 }
 
+// TestFacadeCheckpoint exercises the public checkpoint surface: save at
+// step K through the training loop, resume via the facade helpers, and
+// match the uninterrupted run bit-for-bit.
+func TestFacadeCheckpoint(t *testing.T) {
+	cfg := ModelConfig{Vocab: 64, Dim: 16, Hidden: 32, Heads: 2, Layers: 2, MaxSeq: 32}
+	pcfg := PretrainConfig{Batch: 4, Seq: 16, Steps: 12, Schedule: WarmupCosine(0.01, 12)}
+	setup := func() (*Model, *Corpus) {
+		corpus, err := NewCorpus(cfg.Vocab, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewModel(cfg, 7), corpus
+	}
+
+	refModel, refCorpus := setup()
+	ref := Pretrain(refModel, NewMini(Hyper{LR: 0.01}), refCorpus, pcfg)
+
+	path := t.TempDir() + "/run.ckpt"
+	halfModel, halfCorpus := setup()
+	halfCfg := pcfg
+	halfCfg.Steps = 6
+	halfCfg.CkptEvery = 6
+	halfCfg.CkptPath = path
+	Pretrain(halfModel, NewMini(Hyper{LR: 0.01}), halfCorpus, halfCfg)
+
+	st, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resModel, resCorpus := setup()
+	resOpt := NewMini(Hyper{LR: 0.01})
+	if err := RestoreCheckpoint(st, resModel, resOpt, resCorpus); err != nil {
+		t.Fatal(err)
+	}
+	resCfg := pcfg
+	resCfg.StartStep = st.Step
+	got := Pretrain(resModel, resOpt, resCorpus, resCfg)
+	if got.FinalValPPL != ref.FinalValPPL {
+		t.Fatalf("resumed ppl %v != straight %v", got.FinalValPPL, ref.FinalValPPL)
+	}
+	refParams := refModel.Params().List()
+	for i, p := range resModel.Params().List() {
+		if !p.W.Equal(refParams[i].W) {
+			t.Fatalf("weight %s differs after resume", p.Name)
+		}
+	}
+	if err := SaveCheckpoint(path, got.Steps, resModel, resOpt, resCorpus); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestFacadeZeRO exercises the sharded-optimizer surface: a ZeRO-wrapped
 // AdamW under DPPretrain must reproduce the plain single-replica run
 // bit-for-bit while reporting per-replica state footprints.

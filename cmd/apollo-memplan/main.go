@@ -56,7 +56,17 @@ func main() {
 	fmt.Printf("  gradients    %8.2f GiB\n", memmodel.GiB(b.Gradients))
 	fmt.Printf("  optim states %8.2f GiB\n", memmodel.GiB(b.States))
 	fmt.Printf("  activations  %8.2f GiB\n", memmodel.GiB(b.Activations))
-	fmt.Printf("  total        %8.2f GiB\n\n", memmodel.GiB(b.Total()))
+	fmt.Printf("  total        %8.2f GiB\n", memmodel.GiB(b.Total()))
+	// Predicted on-disk checkpoint size (internal/ckpt format): float32
+	// weights + the method's full serialized optimizer state. The canonical
+	// gather makes this world-independent — a -zero N run writes the same
+	// file an unsharded run would.
+	ckptBytes := memmodel.CheckpointBytesFor(cfg, m, *rank)
+	note := ""
+	if *zeroWorld > 1 {
+		note = " (canonical layout — same file at any -zero world)"
+	}
+	fmt.Printf("  checkpoint   %8.2f GiB on disk%s\n\n", memmodel.GiB(ckptBytes), note)
 
 	for _, dev := range []cluster.Device{cluster.A100_80G(), cluster.RTX4090()} {
 		verdict := "fits"

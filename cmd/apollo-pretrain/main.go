@@ -8,6 +8,8 @@
 //	apollo-pretrain -size 60M -replicas 4 -workers 8   # data-parallel
 //	apollo-pretrain -size 60M -replicas 4 -zero        # + sharded optimizer states
 //	apollo-pretrain -size 60M -accum 4                 # gradient accumulation
+//	apollo-pretrain -size 60M -save run.ckpt -ckpt-every 100   # periodic snapshots
+//	apollo-pretrain -size 60M -resume run.ckpt -save run.ckpt  # continue a run
 //
 // -replicas N shards each batch across N model replicas with an exact
 // all-reduce: the loss curve is bit-identical for every N (see
@@ -17,6 +19,15 @@
 // internal/zero). -accum k splits each fused-loop batch into k
 // gradient-accumulation micro-batches. -workers sizes the shared tensor
 // worker pool; it never changes results, only speed.
+//
+// -save writes bit-exact checkpoints (internal/ckpt): every -ckpt-every
+// steps when set, and always once at the end of the run. -resume continues
+// from a checkpoint — the flags must rebuild the same model and optimizer
+// method, but the ZeRO world may differ: checkpoints store the canonical
+// unsharded state layout, so a `-replicas 3 -zero` snapshot resumes under
+// `-replicas 4 -zero`, plain DP, or the fused loop, reproducing the
+// uninterrupted run float-for-float (see internal/train's
+// TestCheckpointResumeParity / TestElasticReshardParity).
 package main
 
 import (
@@ -26,6 +37,7 @@ import (
 	"strings"
 
 	"apollo/internal/bench"
+	"apollo/internal/ckpt"
 	"apollo/internal/optim"
 	rt "apollo/internal/runtime"
 	"apollo/internal/train"
@@ -46,11 +58,18 @@ func main() {
 		zeroOpt  = flag.Bool("zero", false, "shard optimizer states across the replicas (requires -replicas)")
 		accum    = flag.Int("accum", 0, "gradient-accumulation micro-batches per step (fused loop)")
 		workers  = flag.Int("workers", 0, "tensor worker pool size (0 = GOMAXPROCS)")
+		save     = flag.String("save", "", "checkpoint file to write (periodically with -ckpt-every, always at the end)")
+		ckptEach = flag.Int("ckpt-every", 0, "steps between periodic checkpoint saves (0 = only final)")
+		resume   = flag.String("resume", "", "checkpoint file to resume from")
 	)
 	flag.Parse()
 
 	if *zeroOpt && *replicas < 1 {
 		fmt.Fprintln(os.Stderr, "-zero requires -replicas N with N ≥ 1")
+		os.Exit(1)
+	}
+	if *ckptEach > 0 && *save == "" {
+		fmt.Fprintln(os.Stderr, "-ckpt-every requires -save PATH")
 		os.Exit(1)
 	}
 
@@ -104,11 +123,32 @@ func main() {
 	fmt.Printf("pretraining proxy-%s (%d params) with %s, rank %d, lr %g, %d steps, %d workers\n",
 		proxy.Name, model.Params().NumParams(), opt.Name(), r, proxy.LR, proxy.Steps, rt.Workers())
 
+	startStep := 0
+	if *resume != "" {
+		st, err := ckpt.LoadFile(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := ckpt.Restore(st, model.Params().List(), opt, corpus); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		startStep = st.Step
+		if startStep >= proxy.Steps {
+			fmt.Fprintf(os.Stderr, "checkpoint is at step %d, run ends at %d — nothing to do\n", startStep, proxy.Steps)
+			os.Exit(1)
+		}
+		fmt.Printf("resumed %s from %s at step %d/%d\n", st.Optimizer, *resume, startStep, proxy.Steps)
+	}
+
 	pcfg := train.PretrainConfig{
 		Batch: proxy.Batch, Seq: proxy.Seq, Steps: proxy.Steps,
 		EvalEvery: maxInt(1, proxy.Steps/10), EvalBatches: 4,
-		Schedule: optim.NewWarmupCosine(proxy.LR, proxy.Steps),
-		Accum:    *accum,
+		Schedule:  optim.NewWarmupCosine(proxy.LR, proxy.Steps),
+		Accum:     *accum,
+		CkptEvery: *ckptEach, CkptPath: *save,
+		StartStep: startStep,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
@@ -126,6 +166,20 @@ func main() {
 			fmt.Printf("gradient accumulation: %d micro-batches per step\n", *accum)
 		}
 		res = train.Pretrain(model, opt, corpus, pcfg)
+	}
+	// The periodic path already wrote this exact snapshot when the last
+	// step hit the -ckpt-every boundary; skip the redundant capture+write.
+	finalAlreadySaved := *ckptEach > 0 && proxy.Steps%*ckptEach == 0
+	if *save != "" && !finalAlreadySaved {
+		st, err := ckpt.Capture(proxy.Steps, model.Params().List(), opt, corpus)
+		if err == nil {
+			err = ckpt.SaveFile(*save, st)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "final checkpoint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("final checkpoint → %s\n", *save)
 	}
 	fmt.Printf("\nfinal: %s\n", res.String())
 	if len(res.ReplicaStateBytes) > 0 {

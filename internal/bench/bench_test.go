@@ -14,9 +14,10 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1-memory", "fig1-throughput", "fig2", "fig3", "fig4", "fig5",
 		"fig6", "fig7", "fig9", "scaling-13b",
 		// Beyond the paper: measured parallel-runtime counterpart of the
-		// cluster simulator's throughput claims, and the ZeRO-sharded
-		// optimizer-state experiment on top of the DP trainer.
-		"runtime", "zero",
+		// cluster simulator's throughput claims, the ZeRO-sharded
+		// optimizer-state experiment on top of the DP trainer, and the
+		// checkpoint/resume + elastic-resharding experiment.
+		"runtime", "zero", "ckpt",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
+	"apollo/internal/ckpt"
 	"apollo/internal/memmodel"
 	"apollo/internal/nn"
 	"apollo/internal/tensor"
@@ -75,6 +77,69 @@ func TestMeasuredStateMatchesMemmodel(t *testing.T) {
 			if dev > c.tol {
 				t.Fatalf("%s: measured %0.f state elems vs predicted %0.f (%.2f%% deviation, tol %.2f%%)",
 					c.name, measured, predicted, dev*100, c.tol*100)
+			}
+		})
+	}
+}
+
+// TestCheckpointBytesPrediction enforces the size half of the checkpoint
+// contract: memmodel.CheckpointBytes (what apollo-memplan and apollo-ckpt
+// print) must land within 2% of the actually serialized file for every
+// fp-state method and for the INT8 variants. The slack covers only the
+// per-parameter bookkeeping constants; the data payload is exact.
+func TestCheckpointBytesPrediction(t *testing.T) {
+	const rank = 8
+	proxy, err := ProxyByName("60M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ name, method string }{
+		{"SGD", "SGD"},
+		{"AdamW", "AdamW"},
+		{"Adam-mini", "Adam-mini"},
+		{"GaLore", "GaLore"},
+		{"APOLLO", "APOLLO"},
+		{"APOLLO-Mini", "APOLLO-Mini"},
+		{"8-bit Adam", "8-bit Adam"},
+		{"8-bit GaLore", "8-bit GaLore"},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			model := proxy.NewProxyModel(3)
+			params := model.Params().List()
+			opt, err := BuildOptimizer(c.name, 1e-3, rank, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := tensor.NewRNG(9)
+			for _, p := range params {
+				for i := range p.Grad.Data {
+					p.Grad.Data[i] = rng.NormFloat32() * 0.1
+				}
+			}
+			opt.Step(params)
+
+			st, err := ckpt.Capture(1, params, opt, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := ckpt.Write(&buf, st); err != nil {
+				t.Fatal(err)
+			}
+
+			method, err := memmodel.MethodByName(c.method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rank
+			if c.name == "APOLLO-Mini" {
+				r = 1
+			}
+			predicted := memmodel.CheckpointBytes(ShapesOf(params), method, r)
+			actual := float64(buf.Len())
+			if dev := math.Abs(actual-predicted) / actual; dev > 0.02 {
+				t.Fatalf("%s: file is %.0f bytes, predicted %.0f (%.2f%% off)",
+					c.name, actual, predicted, dev*100)
 			}
 		})
 	}

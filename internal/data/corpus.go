@@ -39,6 +39,14 @@ func (c *Corpus) NextTrainBatch(b, t int) Batch {
 	return c.batchFrom(c.trainRG.Uint64(), b, t)
 }
 
+// TrainCursor returns the training stream's RNG phase — the only mutable
+// state a corpus carries. Checkpoints persist it so a resumed run draws the
+// exact batch sequence an uninterrupted run would have seen.
+func (c *Corpus) TrainCursor() uint64 { return c.trainRG.State() }
+
+// SeekTrain restores a cursor captured by TrainCursor.
+func (c *Corpus) SeekTrain(cursor uint64) { c.trainRG.SetState(cursor) }
+
 // ValBatch returns the idx-th deterministic validation batch. Calling it
 // twice with the same arguments returns identical data.
 func (c *Corpus) ValBatch(idx, b, t int) Batch {

@@ -133,6 +133,62 @@ func (pr *Projector) StateFloats() int {
 	}
 }
 
+// ProjectorSnap is the persistent state of a Projector for checkpointing:
+// the current seed, the RNG phase that generates future refresh seeds, the
+// projected dimension, and — only for SVD, whose matrix derives from a past
+// gradient and cannot be regenerated — the projection matrix itself. A
+// random projector's matrix is rebuilt from Seed on restore, so the
+// checkpoint stays as small as Table 1's "+1 seed" accounting promises.
+type ProjectorSnap struct {
+	Seed  uint64
+	RNG   uint64
+	M     int
+	Ready bool
+	P     *tensor.Matrix // SVD only; nil for random projections
+}
+
+// Snapshot captures the projector's persistent state. The returned matrix
+// (SVD only) is a deep copy, safe to retain across further refreshes.
+func (pr *Projector) Snapshot() ProjectorSnap {
+	s := ProjectorSnap{Seed: pr.seed, RNG: pr.rng.State(), M: pr.m, Ready: pr.p != nil}
+	if pr.Kind == SVDProjection && pr.p != nil {
+		s.P = pr.p.Clone()
+	}
+	return s
+}
+
+// RestoreSnapshot installs a state captured by Snapshot. The projector must
+// have been constructed with the same kind and rank. Random projections are
+// regenerated from the restored seed bit-for-bit.
+func (pr *Projector) RestoreSnapshot(s ProjectorSnap) error {
+	pr.seed = s.Seed
+	pr.rng.SetState(s.RNG)
+	pr.m = s.M
+	pr.p = nil
+	if !s.Ready {
+		return nil
+	}
+	switch pr.Kind {
+	case RandomProjection:
+		if s.M <= 0 {
+			return fmt.Errorf("linalg: restore random projector with m=%d", s.M)
+		}
+		pr.p = GaussianProjection(pr.Rank, s.M, s.Seed)
+	case SVDProjection:
+		if s.P == nil {
+			return fmt.Errorf("linalg: restore SVD projector without its matrix")
+		}
+		if s.P.Rows != pr.Rank || s.P.Cols != s.M {
+			return fmt.Errorf("linalg: restore SVD projector %dx%d, want %dx%d",
+				s.P.Rows, s.P.Cols, pr.Rank, s.M)
+		}
+		pr.p = s.P.Clone()
+	default:
+		return fmt.Errorf("linalg: restore unknown projection kind %v", pr.Kind)
+	}
+	return nil
+}
+
 // RefreshFlops estimates the cost of one projection refresh on an m×n
 // gradient. Random projection costs one RNG pass over r·m entries; SVD costs
 // a full decomposition.

@@ -122,6 +122,11 @@ type Method struct {
 	// e.g. Table 3's "1.6G" for rank-256 APOLLO on 7B is ≈843M elements ×
 	// 2 bytes — so the fp-state methods use 2 here and the 8-bit variants 1.
 	StateBytesPer float64
+	// SVDProjElems, when non-nil, returns how many of StateElems are the
+	// persisted SVD projection for one m×n projectable matrix. Those stay
+	// fp32 even in the INT8 variants (only the moments are quantized), which
+	// CheckpointBytes must know to predict serialized sizes.
+	SVDProjElems func(m, n, r int64) int64
 }
 
 // Paper-footprint methods (Table 1 plus the quantized variants).
@@ -145,11 +150,13 @@ var (
 		Name:            "GaLore",
 		StateElems:      func(m, n, r int64) int64 { return 2*n*r + m*r },
 		FallbackPerElem: 2, StateBytesPer: BytesBF16,
+		SVDProjElems: func(m, n, r int64) int64 { return m * r },
 	}
 	MethodFira = Method{
 		Name:            "Fira",
 		StateElems:      func(m, n, r int64) int64 { return 2*n*r + m*r + 1 },
 		FallbackPerElem: 2, StateBytesPer: BytesBF16,
+		SVDProjElems: func(m, n, r int64) int64 { return m * r },
 	}
 	MethodFlora = Method{
 		Name:            "Flora",
@@ -175,6 +182,7 @@ var (
 		Name:            "8-bit GaLore",
 		StateElems:      func(m, n, r int64) int64 { return 2*n*r + m*r },
 		FallbackPerElem: 2, StateBytesPer: BytesINT8,
+		SVDProjElems: func(m, n, r int64) int64 { return m * r },
 	}
 )
 
@@ -232,6 +240,66 @@ func ShardedOptimizerStateBytes(cfg LLaMAConfig, m Method, rank, world int) floa
 		b /= float64(world)
 	}
 	return b
+}
+
+// Checkpoint-format accounting (mirrors internal/ckpt's binary layout).
+// The data payload dominates; the per-parameter constants cover the META
+// table entry and the OPTP bookkeeping (presence flag, counters, projector
+// seed/RNG phases, matrix headers), which vary a little across methods —
+// predictions land within a few percent of the serialized file and are
+// cross-checked by the `ckpt` bench experiment.
+const (
+	ckptFixedBytes          = 16 + 5*16 + 8 + 32 // header, 5 section headers, data cursor, name + globals
+	ckptParamMetaBytes      = 11                 // length prefix + kind + dims (plus the name itself)
+	ckptParamStateBytes     = 64
+	ckptInt8GroupSize       = 128
+	ckptWeightBytesPerElem  = 4 // live training is float32
+	ckptFPStateBytesPerElem = 4
+)
+
+// CheckpointBytes predicts the on-disk size of an internal/ckpt snapshot
+// for a model with the given shapes trained under the method at the given
+// rank. Unlike the paper-table formulas (which count states in BF16), the
+// checkpoint serializes the *live* float32 states plus the float32 weights;
+// INT8 methods serialize one byte per code plus group scales. The predicted
+// size is world-independent: a ZeRO-sharded run gathers its state into the
+// same canonical layout before writing.
+func CheckpointBytes(shapes []Shape, m Method, rank int) float64 {
+	statePer := float64(ckptFPStateBytesPerElem)
+	if m.StateBytesPer == BytesINT8 {
+		statePer = 1 + float64(BytesFP32)/ckptInt8GroupSize
+	}
+	total := float64(ckptFixedBytes)
+	for _, s := range shapes {
+		total += float64(len(s.Name)) + ckptParamMetaBytes
+		total += ckptWeightBytesPerElem * float64(s.NumEl())
+		total += ckptParamStateBytes
+	}
+	elems := StateElems(shapes, m, rank)
+	// Persisted SVD projections serialize fp32 even when the moments are
+	// INT8 (only the moments are quantized).
+	var proj float64
+	if m.SVDProjElems != nil {
+		for _, s := range shapes {
+			mm, nn := int64(s.Rows), int64(s.Cols)
+			if mm > nn {
+				mm, nn = nn, mm
+			}
+			if s.Projectable && mm > int64(rank) {
+				proj += float64(m.SVDProjElems(mm, nn, int64(rank)))
+			}
+		}
+	}
+	total += (elems-proj)*statePer + proj*ckptFPStateBytesPerElem
+	return total
+}
+
+// CheckpointBytesFor is the paper-config convenience form.
+func CheckpointBytesFor(cfg LLaMAConfig, m Method, rank int) float64 {
+	if rank == 0 {
+		rank = cfg.DefaultRank()
+	}
+	return CheckpointBytes(cfg.Shapes(), m, rank)
 }
 
 // Plan describes a full training-memory scenario.

@@ -174,3 +174,9 @@ func (qw *QuantizedWeight) Update(delta *tensor.Matrix) {
 
 // Bytes returns the resident byte count.
 func (qw *QuantizedWeight) Bytes() int64 { return qw.Q.Bytes() }
+
+// RNGState exposes the stochastic-rounding RNG phase for checkpointing.
+func (qw *QuantizedWeight) RNGState() uint64 { return qw.rng.State() }
+
+// SetRNGState restores a phase captured by RNGState.
+func (qw *QuantizedWeight) SetRNGState(s uint64) { qw.rng.SetState(s) }

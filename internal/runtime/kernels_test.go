@@ -2,7 +2,9 @@ package runtime
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // fill populates x with a deterministic, sign-varying pattern including
@@ -222,6 +224,46 @@ func TestForRangePanicPropagates(t *testing.T) {
 		if h != 1 {
 			t.Fatalf("post-panic: index %d visited %d times", i, h)
 		}
+	}
+}
+
+// TestForRangeCallerPanicWaitsForInflight pins the pool-hardening contract:
+// when the CALLER-executed chunk panics, ForRange must still wait for every
+// in-flight submitted chunk before re-raising — otherwise a recovering
+// caller (bench.runCaptured keeps scheduling after recovering) races
+// against workers still writing into the shared output.
+func TestForRangeCallerPanicWaitsForInflight(t *testing.T) {
+	p := NewPool(4) // private pool: the shared one may be size 1 on 1-core hosts
+	const n, chunks = 64, 4
+	var completed int32
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected ForRange to re-panic the caller chunk's panic")
+			}
+			if r != "caller boom" {
+				t.Fatalf("re-panicked %v, want the caller chunk's panic", r)
+			}
+			// The moment the panic surfaces, every submitted chunk must have
+			// finished — no in-flight writers left behind.
+			if got := atomic.LoadInt32(&completed); got != chunks-1 {
+				t.Fatalf("panic escaped with %d of %d submitted chunks complete", got, chunks-1)
+			}
+		}()
+		p.ForRange(n, n/chunks, func(i0, i1 int) {
+			if i0 == 0 { // the chunk the caller executes itself
+				panic("caller boom")
+			}
+			time.Sleep(20 * time.Millisecond) // in-flight long enough to observe
+			atomic.AddInt32(&completed, 1)
+		})
+	}()
+	// The pool stays usable afterwards.
+	var hits int32
+	p.ForRange(16, 1, func(i0, i1 int) { atomic.AddInt32(&hits, int32(i1-i0)) })
+	if hits != 16 {
+		t.Fatalf("post-panic ForRange covered %d of 16", hits)
 	}
 }
 

@@ -124,7 +124,21 @@ func (p *Pool) ForRange(n, minPerTask int, fn func(i0, i1 int)) {
 			task()
 		}
 	}
-	fn(0, chunk)
+	// The caller's own chunk must not let a panic escape before the
+	// submitted chunks drain: in-flight workers would still be writing into
+	// shared output while the caller unwinds — and a recovering caller
+	// (bench.runCaptured) could reuse or free that output. Recover here,
+	// wait like the submitted-chunk path does, then re-raise.
+	var callerPanic any
+	var callerPanicked bool
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				callerPanic, callerPanicked = r, true
+			}
+		}()
+		fn(0, chunk)
+	}()
 	// Help with queued work (ours or anyone's) until our chunks are done.
 	for atomic.LoadInt32(&pending) > 0 {
 		select {
@@ -137,6 +151,9 @@ func (p *Pool) ForRange(n, minPerTask int, fn func(i0, i1 int)) {
 		default:
 			goruntime.Gosched()
 		}
+	}
+	if callerPanicked {
+		panic(callerPanic)
 	}
 	select {
 	case r := <-panics:

@@ -79,3 +79,13 @@ func (r *RNG) Perm(n int) []int {
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xA5A5A5A5A5A5A5A5)
 }
+
+// State returns the generator's full internal state. Together with SetState
+// it lets checkpoints persist the exact phase of any RNG stream, so a
+// resumed run draws the identical continuation of the sequence.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state previously captured with State. Unlike NewRNG
+// it performs no warm-up: the next draw continues exactly where the
+// captured generator left off.
+func (r *RNG) SetState(s uint64) { r.state = s }

@@ -104,7 +104,7 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 	lossSums := make([]float64, b)
 
 	var series []Metric
-	for step := 0; step < pcfg.Steps; step++ {
+	for step := pcfg.StartStep; step < pcfg.Steps; step++ {
 		if pcfg.Schedule != nil {
 			opt.SetLR(pcfg.Schedule.At(step))
 		}
@@ -197,6 +197,11 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 		} else {
 			opt.Step(master)
 		}
+		// Checkpoint after the optimizer step (and, under ZeRO, after the
+		// broadcast): master weights are current and a Sharded optimizer
+		// gathers its shard-owned state into the canonical layout, so the
+		// snapshot resumes under any world size.
+		maybeCheckpoint(pcfg, step, master, opt, corpus)
 
 		if pcfg.EvalEvery > 0 && (step+1)%pcfg.EvalEvery == 0 {
 			val := Validate(model, corpus, pcfg.EvalBatches, b, t)

@@ -10,6 +10,7 @@ import (
 	"math"
 	"time"
 
+	"apollo/internal/ckpt"
 	"apollo/internal/data"
 	"apollo/internal/nn"
 	"apollo/internal/optim"
@@ -68,6 +69,19 @@ type PretrainConfig struct {
 	// per-sequence gradient leaves already keep one sequence of
 	// activations per replica.
 	Accum int
+	// CkptEvery > 0 saves a checkpoint to CkptPath after every CkptEvery-th
+	// step (internal/ckpt format, written atomically — a crash mid-save
+	// never destroys the previous snapshot). The optimizer must implement
+	// optim.StateSaver; a failed save panics, since silently continuing
+	// without durability is worse than stopping.
+	CkptEvery int
+	CkptPath  string
+	// StartStep resumes the loop at this step index. The caller must first
+	// restore weights, optimizer state and the corpus cursor from the
+	// matching checkpoint (ckpt.Restore); then resuming at step K and
+	// running to Steps is bit-identical to an uninterrupted run
+	// (TestCheckpointResumeParity).
+	StartStep int
 	// Quiet suppresses progress output.
 	Logf func(format string, args ...any)
 }
@@ -101,7 +115,7 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 		accum--
 	}
 
-	for step := 0; step < cfg.Steps; step++ {
+	for step := cfg.StartStep; step < cfg.Steps; step++ {
 		if cfg.Schedule != nil {
 			opt.SetLR(cfg.Schedule.At(step))
 		}
@@ -117,6 +131,7 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 			params.ClipGradNorm(cfg.ClipNorm)
 		}
 		opt.Step(params.List())
+		maybeCheckpoint(cfg, step, params.List(), opt, corpus)
 
 		if cfg.EvalEvery > 0 && (step+1)%cfg.EvalEvery == 0 {
 			val := Validate(model, corpus, cfg.EvalBatches, cfg.Batch, cfg.Seq)
@@ -139,6 +154,25 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 		WallSeconds: time.Since(start).Seconds(),
 		Steps:       cfg.Steps,
 	}
+}
+
+// maybeCheckpoint writes a periodic snapshot after step completed (the
+// loops call it right after the optimizer step, so the saved state is the
+// post-step state the next step builds on). Save failures panic: a training
+// run that silently loses its durability guarantee is strictly worse than
+// one that stops.
+func maybeCheckpoint(cfg PretrainConfig, step int, params []*nn.Param, opt optim.Optimizer, corpus *data.Corpus) {
+	if cfg.CkptEvery <= 0 || cfg.CkptPath == "" || (step+1)%cfg.CkptEvery != 0 {
+		return
+	}
+	st, err := ckpt.Capture(step+1, params, opt, corpus)
+	if err == nil {
+		err = ckpt.SaveFile(cfg.CkptPath, st)
+	}
+	if err != nil {
+		panic(fmt.Errorf("train: checkpoint at step %d: %w", step+1, err))
+	}
+	cfg.Logf("[%s] step %d: checkpoint → %s", opt.Name(), step+1, cfg.CkptPath)
 }
 
 // lossAccum runs forward/backward over the batch in accum micro-batches,

@@ -58,6 +58,11 @@ type Sharded struct {
 	views []*nn.Param     // view param per unit (aliases the unit's rows)
 	parts [][]int         // per-shard unit indices
 	ready bool
+
+	// Checkpoint gather/scatter indexes (built by Init).
+	ownerOf      []int             // unit index → owning shard
+	unitsByParam [][]int           // param index → unit indices, ascending Row0
+	paramIndex   map[*nn.Param]int // original param pointer → index in all
 }
 
 // NewSharded builds a wrapper with one inner optimizer per shard. The
@@ -143,6 +148,23 @@ func (s *Sharded) Init(all []*nn.Param) {
 		weights[u] = cost
 	}
 	s.parts = PartitionWeighted(weights, s.n)
+
+	// Index ownership for the checkpoint gather/scatter paths: which shard
+	// owns each unit, and which units tile each parameter.
+	s.ownerOf = make([]int, len(s.segs))
+	for shard, units := range s.parts {
+		for _, u := range units {
+			s.ownerOf[u] = shard
+		}
+	}
+	s.unitsByParam = make([][]int, len(all))
+	for u, seg := range s.segs {
+		s.unitsByParam[seg.Param] = append(s.unitsByParam[seg.Param], u)
+	}
+	s.paramIndex = make(map[*nn.Param]int, len(all))
+	for i, p := range all {
+		s.paramIndex[p] = i
+	}
 
 	for shard, units := range s.parts {
 		own := make(map[*nn.Param]bool, len(units))
