@@ -23,6 +23,7 @@ import (
 	"apollo/internal/nn"
 	"apollo/internal/optim"
 	rt "apollo/internal/runtime"
+	"apollo/internal/serve"
 	"apollo/internal/tensor"
 	"apollo/internal/train"
 	"apollo/internal/zero"
@@ -169,6 +170,38 @@ func LoadCheckpoint(path string) (*Checkpoint, error) { return ckpt.LoadFile(pat
 // size than the one that saved (elastic resharding).
 func RestoreCheckpoint(st *Checkpoint, m *Model, opt Optimizer, corpus *Corpus) error {
 	return ckpt.Restore(st, m.Params().List(), opt, corpus)
+}
+
+// Snapshot is the weights-only view of a checkpoint (ckpt.ModelSnapshot):
+// identity, parameter table and weight matrices — no optimizer state, no
+// data cursor. Opening one costs model-weight memory (memmodel.ServeBytes),
+// not the training footprint a full Checkpoint decode materializes.
+type Snapshot = ckpt.ModelSnapshot
+
+// OpenSnapshot reads the weights-only view of a checkpoint file: every
+// section CRC is verified, but the optimizer sections are never decoded.
+// Snapshot.InstallWeights restores the weights into a live model.
+func OpenSnapshot(path string) (*Snapshot, error) { return ckpt.LoadModelFile(path) }
+
+// ServeConfig parameterizes the checkpoint-streamed evaluation service
+// (internal/serve): the served architecture, the validation corpus, and the
+// LRU/batching knobs.
+type ServeConfig = serve.Config
+
+// EvalRegistry is the evaluation service's snapshot registry: path → open
+// model with LRU caching and hot reload on file change.
+type EvalRegistry = serve.Registry
+
+// NewEvalRegistry builds a snapshot registry for one served architecture.
+func NewEvalRegistry(cfg ServeConfig) (*EvalRegistry, error) { return serve.NewRegistry(cfg) }
+
+// Serve runs the HTTP/JSON evaluation service on addr, preloading the given
+// checkpoints: perplexity, option-logprob, zero-shot and fine-tune queries
+// against any internal/ckpt snapshot, without retraining. A served
+// perplexity query is bit-identical to train.Validate on the restored
+// snapshot at any concurrency; see internal/serve for the contract.
+func Serve(addr string, cfg ServeConfig, checkpoints ...string) error {
+	return serve.ListenAndServe(addr, cfg, checkpoints)
 }
 
 // SetWorkers resizes the shared tensor worker pool (default GOMAXPROCS).

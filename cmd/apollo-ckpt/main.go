@@ -95,6 +95,12 @@ func inspect(path string, verifyOnly bool) error {
 		statesPresent, len(st.Params), len(st.OptGlobals))
 	fmt.Printf("  data cursor %#x\n", st.DataCursor)
 
+	// What the snapshot costs to *serve* (apollo-serve's weights-only open
+	// path: optimizer sections CRC-checked but never decoded, gradients
+	// freed) — optimizer-independent by construction.
+	fmt.Printf("  serving     %s resident (memmodel.ServeBytes; weights only)\n",
+		train.FormatBytes(int64(memmodel.ServeBytes(shapes))))
+
 	method, err := memmodel.MethodByName(st.Optimizer)
 	if err != nil {
 		fmt.Printf("  predicted   n/a (no memory-model entry for %q)\n", st.Optimizer)

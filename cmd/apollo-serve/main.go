@@ -1,0 +1,115 @@
+// Command apollo-serve is the checkpoint-streamed evaluation service: it
+// loads internal/ckpt snapshots through the weights-only read path and
+// answers perplexity, option-logprob, zero-shot and fine-tune queries over
+// HTTP/JSON without re-running training.
+//
+// Usage:
+//
+//	apollo-serve -size 60M -seed 1 -addr :8080 run.ckpt          # serve one snapshot
+//	apollo-serve -size 60M -addr :8080 a.ckpt b.ckpt             # several (LRU-cached)
+//	apollo-serve -size 60M -seed 1 -offline run.ckpt             # print the exact offline
+//	                                                             # train.Validate loss, no server
+//
+// -size and -seed must match the apollo-pretrain flags that produced the
+// checkpoint: the architecture (head count is not recoverable from the
+// weight shapes) and the corpus seeds (corpus = seed+17, as in
+// apollo-pretrain) — then a served perplexity query is bit-identical to the
+// trainer's own validation loss. Checkpoints given on the command line are
+// preloaded; any other path can be queried by naming it in a request's
+// "checkpoint" field. Every request re-stats its file, so pointing a query
+// at a live training run's -save path serves the latest periodic snapshot
+// (hot reload; in-flight queries finish on the old weights).
+//
+// -offline prints the loss train.Validate computes on the restored
+// snapshot, as a shortest-round-trip decimal on one line — the reference
+// value CI compares served loss_text responses against, bit for bit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"apollo/internal/bench"
+	"apollo/internal/ckpt"
+	"apollo/internal/nn"
+	rt "apollo/internal/runtime"
+	"apollo/internal/serve"
+	"apollo/internal/tensor"
+	"apollo/internal/train"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		size      = flag.String("size", "60M", "proxy size the checkpoints were trained at: 60M 130M 350M 1B 7B")
+		seed      = flag.Uint64("seed", 1, "run seed of the training run (corpus = seed+17)")
+		maxModels = flag.Int("max-models", 4, "snapshots resident at once (LRU beyond)")
+		maxBatch  = flag.Int("max-batch", 8, "scoring sequences coalesced per forward")
+		workers   = flag.Int("workers", 0, "tensor worker pool size (0 = GOMAXPROCS)")
+		offline   = flag.Bool("offline", false, "print the exact offline validation loss for a checkpoint and exit")
+		batches   = flag.Int("batches", 4, "validation batches (offline mode)")
+		batch     = flag.Int("batch", 0, "validation batch size (offline mode; 0 = proxy default)")
+		seq       = flag.Int("seq", 0, "validation sequence length (offline mode; 0 = proxy default)")
+	)
+	flag.Parse()
+
+	if *workers > 0 {
+		rt.SetWorkers(*workers)
+	}
+	proxy, err := bench.ProxyByName(*size)
+	if err != nil {
+		fail(err)
+	}
+	corpus, err := bench.NewCorpus(*seed + 17)
+	if err != nil {
+		fail(err)
+	}
+
+	if *offline {
+		if flag.NArg() != 1 {
+			fail(fmt.Errorf("-offline needs exactly one checkpoint path"))
+		}
+		b, t := *batch, *seq
+		if b == 0 {
+			b = proxy.Batch
+		}
+		if t == 0 {
+			t = proxy.Seq
+		}
+		snap, err := ckpt.LoadModelFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		model := nn.NewModel(proxy.Model, tensor.NewRNG(1))
+		if err := snap.InstallWeights(model.Params().List()); err != nil {
+			fail(err)
+		}
+		loss := train.Validate(model, corpus, *batches, b, t)
+		fmt.Println(exactFloat(loss))
+		return
+	}
+
+	cfg := serve.Config{
+		Model: proxy.Model, Corpus: corpus,
+		MaxModels: *maxModels, MaxBatch: *maxBatch,
+	}
+	fmt.Printf("apollo-serve: proxy-%s architecture, %d workers, up to %d resident snapshots, listening on %s\n",
+		proxy.Name, rt.Workers(), *maxModels, *addr)
+	for _, p := range flag.Args() {
+		fmt.Printf("  preloading %s\n", p)
+	}
+	if err := serve.ListenAndServe(*addr, cfg, flag.Args()); err != nil {
+		fail(err)
+	}
+}
+
+// exactFloat mirrors the server's loss_text rendering (shortest decimal
+// that round-trips the float64).
+func exactFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

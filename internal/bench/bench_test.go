@@ -15,9 +15,10 @@ func TestRegistryComplete(t *testing.T) {
 		"fig6", "fig7", "fig9", "scaling-13b",
 		// Beyond the paper: measured parallel-runtime counterpart of the
 		// cluster simulator's throughput claims, the ZeRO-sharded
-		// optimizer-state experiment on top of the DP trainer, and the
-		// checkpoint/resume + elastic-resharding experiment.
-		"runtime", "zero", "ckpt",
+		// optimizer-state experiment on top of the DP trainer, the
+		// checkpoint/resume + elastic-resharding experiment, and the
+		// checkpoint-streamed evaluation service.
+		"runtime", "zero", "ckpt", "serve",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {

@@ -85,15 +85,8 @@ func Restore(st *State, params []*nn.Param, opt optim.Optimizer, corpus *data.Co
 	if got := Name(opt); got != st.Optimizer {
 		return fmt.Errorf("ckpt: checkpoint was written by %q, cannot resume with %q", st.Optimizer, got)
 	}
-	if len(params) != len(st.Params) {
-		return fmt.Errorf("ckpt: model has %d parameters, checkpoint %d", len(params), len(st.Params))
-	}
-	for i, p := range params {
-		m := st.Params[i]
-		if p.Name != m.Name || uint8(p.Kind) != m.Kind || p.W.Rows != m.Rows || p.W.Cols != m.Cols {
-			return fmt.Errorf("ckpt: parameter %d is %s/%v/%dx%d, checkpoint has %s/%d/%dx%d",
-				i, p.Name, p.Kind, p.W.Rows, p.W.Cols, m.Name, m.Kind, m.Rows, m.Cols)
-		}
+	if err := matchParams(params, st.Params); err != nil {
+		return err
 	}
 
 	// A partitioned optimizer must know its ownership map before states can

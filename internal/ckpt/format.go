@@ -423,31 +423,13 @@ func Read(r io.Reader) (*State, error) {
 	}
 
 	st := &State{Version: version}
-
-	meta := &dec{buf: byTag[TagMeta]}
-	st.Optimizer = meta.str()
-	st.Step = int(meta.u64())
-	st.LR = math.Float64frombits(meta.u64())
-	nparams := int(meta.u64())
-	if meta.err == nil && nparams > len(meta.buf) {
-		return nil, fmt.Errorf("ckpt: META claims %d parameters in a %d-byte table", nparams, len(meta.buf))
+	st.Optimizer, st.Step, st.LR, st.Params, err = decodeMeta(byTag[TagMeta])
+	if err != nil {
+		return nil, err
 	}
-	for i := 0; i < nparams && meta.err == nil; i++ {
-		st.Params = append(st.Params, ParamMeta{
-			Name: meta.str(), Kind: meta.u8(),
-			Rows: int(meta.u32()), Cols: int(meta.u32()),
-		})
-	}
-	if err := meta.done(); err != nil {
-		return nil, fmt.Errorf("ckpt: META: %w", err)
-	}
-
-	wgts := &dec{buf: byTag[TagWeights]}
-	for _, p := range st.Params {
-		st.Weights = append(st.Weights, wgts.matrix(p.Rows, p.Cols))
-	}
-	if err := wgts.done(); err != nil {
-		return nil, fmt.Errorf("ckpt: WGTS: %w", err)
+	st.Weights, err = decodeWeights(byTag[TagWeights], st.Params)
+	if err != nil {
+		return nil, err
 	}
 
 	data := &dec{buf: byTag[TagData]}

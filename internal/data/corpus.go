@@ -23,6 +23,14 @@ type Corpus struct {
 	src     *Source
 	trainRG *tensor.RNG
 	valSeed uint64
+
+	// HookTrainBatch, when non-nil, post-processes every training batch
+	// before NextTrainBatch returns it. Tests use it to produce batches the
+	// synthetic source never emits on its own — e.g. fully ignore-masked
+	// targets, which exercise the trainers' counted==0 path. The hook runs
+	// after the stream RNG has advanced, so it never perturbs the data
+	// cursor that checkpoints persist.
+	HookTrainBatch func(*Batch)
 }
 
 // NewCorpus builds a corpus over src. trainSeed drives the training stream;
@@ -36,7 +44,11 @@ func (c *Corpus) Source() *Source { return c.src }
 
 // NextTrainBatch samples B sequences of length T (+1 shift token each).
 func (c *Corpus) NextTrainBatch(b, t int) Batch {
-	return c.batchFrom(c.trainRG.Uint64(), b, t)
+	batch := c.batchFrom(c.trainRG.Uint64(), b, t)
+	if c.HookTrainBatch != nil {
+		c.HookTrainBatch(&batch)
+	}
+	return batch
 }
 
 // TrainCursor returns the training stream's RNG phase — the only mutable

@@ -185,8 +185,8 @@ func TestGenerateMCTaskShape(t *testing.T) {
 		t.Fatalf("%d items", len(items))
 	}
 	for _, it := range items {
-		if len(it.Context[0]) != 8 {
-			t.Fatalf("ctx len %d", len(it.Context[0]))
+		if len(it.Context) != 8 {
+			t.Fatalf("ctx len %d", len(it.Context))
 		}
 		if len(it.Options) != 3 {
 			t.Fatalf("%d options", len(it.Options))

@@ -13,7 +13,7 @@ import (
 // likelihood-comparison protocol used by lm-eval-harness for BoolQ, ARC,
 // PIQA, etc.
 type MCItem struct {
-	Context [][]int // shared prefix, one slice (len ctxLen)
+	Context []int   // shared prefix (len ctxLen; may be empty)
 	Options [][]int // K continuations, each contLen tokens
 	Answer  int     // index of the genuine continuation
 }
@@ -71,7 +71,7 @@ func GenerateMCTask(src *Source, cfg MCTaskConfig) []MCItem {
 			}
 			options[o] = opt
 		}
-		items[i] = MCItem{Context: [][]int{ctx}, Options: options, Answer: answer}
+		items[i] = MCItem{Context: ctx, Options: options, Answer: answer}
 	}
 	return items
 }

@@ -16,20 +16,31 @@ import (
 // of the option tokens conditioned on the context, exactly the
 // length-normalized scoring rule used by lm-eval-harness for the paper's
 // zero-shot suites.
+//
+// With an empty context the first option token has no conditioning position
+// (the model has no BOS convention), so the mean runs over the remaining
+// option tokens; a query with nothing scoreable at all returns 0.
 func OptionLogProb(model *nn.Model, context, option []int) float64 {
 	seq := make([]int, 0, len(context)+len(option))
 	seq = append(seq, context...)
 	seq = append(seq, option...)
+	if len(option) == 0 || len(seq) < 2 {
+		return 0
+	}
 	logits := model.Forward(seq[:len(seq)-1], 1, len(seq)-1)
-	var total float64
 	// Position i of logits predicts seq[i+1]; option tokens start at
 	// len(context).
-	for i := len(context) - 1; i < len(seq)-1; i++ {
+	start := len(context) - 1
+	if start < 0 {
+		start = 0
+	}
+	var total float64
+	for i := start; i < len(seq)-1; i++ {
 		row := logits.Row(i)
 		lse := tensor.LogSumExp(row)
 		total += float64(row[seq[i+1]]) - lse
 	}
-	return total / float64(len(option))
+	return total / float64(len(seq)-1-start)
 }
 
 // ZeroShotAccuracy scores a multiple-choice suite: an item is correct when
@@ -42,7 +53,7 @@ func ZeroShotAccuracy(model *nn.Model, items []data.MCItem) float64 {
 	for _, item := range items {
 		best, bi := math.Inf(-1), 0
 		for o, opt := range item.Options {
-			if lp := OptionLogProb(model, item.Context[0], opt); lp > best {
+			if lp := OptionLogProb(model, item.Context, opt); lp > best {
 				best, bi = lp, o
 			}
 		}

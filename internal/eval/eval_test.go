@@ -46,6 +46,73 @@ func TestOptionLogProbFavorsLikelyTokens(t *testing.T) {
 	}
 }
 
+// TestOptionLogProbEmptyContext is the regression for the evaluation
+// service's unconditioned queries: an empty context used to start the
+// scoring loop at position -1 and panic in logits.Row. The score must be
+// finite and equal the mean log-probability of the scoreable option tokens
+// (all but the first, which has no conditioning position).
+func TestOptionLogProbEmptyContext(t *testing.T) {
+	model := tinyModel(11, 32)
+	option := []int{3, 7, 1, 4}
+	got := OptionLogProb(model, nil, option)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("empty-context logprob %v not finite", got)
+	}
+	if got >= 0 {
+		t.Fatalf("empty-context logprob %v not negative", got)
+	}
+	// Hand-computed reference: forward option[:3], score option[1:] from
+	// positions 0..2, mean over 3 scored tokens.
+	logits := model.Forward(option[:len(option)-1], 1, len(option)-1)
+	var want float64
+	for i := 0; i < len(option)-1; i++ {
+		row := logits.Row(i)
+		want += float64(row[option[i+1]]) - tensor.LogSumExp(row)
+	}
+	want /= float64(len(option) - 1)
+	if got != want {
+		t.Fatalf("empty-context logprob %v, want %v", got, want)
+	}
+	if OptionLogProb(model, []int{5}, option) == got {
+		t.Fatal("context must condition the score")
+	}
+}
+
+// TestOptionLogProbDegenerateQueries: queries with nothing scoreable must
+// not panic (the service receives arbitrary client input).
+func TestOptionLogProbDegenerateQueries(t *testing.T) {
+	model := tinyModel(12, 32)
+	if got := OptionLogProb(model, nil, []int{3}); got != 0 {
+		t.Fatalf("single-token option with empty context scored %v, want 0", got)
+	}
+	if got := OptionLogProb(model, []int{1, 2}, nil); got != 0 {
+		t.Fatalf("empty option scored %v, want 0", got)
+	}
+	if got := OptionLogProb(model, nil, nil); got != 0 {
+		t.Fatalf("empty query scored %v, want 0", got)
+	}
+}
+
+// TestZeroShotAccuracyEmptyContextItems: a whole suite of context-free items
+// (CtxLen 0) must evaluate without panicking — the MCItem.Context flattening
+// removed the empty-outer-slice trap alongside.
+func TestZeroShotAccuracyEmptyContextItems(t *testing.T) {
+	src, _ := data.NewSource(data.DefaultSourceConfig())
+	model := tinyModel(13, 256)
+	items := data.GenerateMCTask(src, data.MCTaskConfig{
+		Name: "ctxfree", Items: 6, CtxLen: 0, ContLen: 4, Options: 3, Distractor: 0.5, Seed: 9,
+	})
+	for _, it := range items {
+		if len(it.Context) != 0 {
+			t.Fatalf("ctx len %d, want 0", len(it.Context))
+		}
+	}
+	acc := ZeroShotAccuracy(model, items)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v out of bounds", acc)
+	}
+}
+
 func TestZeroShotAccuracyBounds(t *testing.T) {
 	src, _ := data.NewSource(data.DefaultSourceConfig())
 	model := tinyModel(2, 256)

@@ -215,3 +215,33 @@ func TestConfigByNameUnknown(t *testing.T) {
 		t.Fatal("expected error")
 	}
 }
+
+// TestServeBytes: the serving footprint is weights-dominated, independent
+// of the optimizer that trained the snapshot, and far below both the
+// checkpoint size and the training-plan total for the same config.
+func TestServeBytes(t *testing.T) {
+	cfg, err := ConfigByName("7B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := float64(cfg.NumParams())
+	got := ServeBytesFor(cfg)
+	if got < BytesFP32*params {
+		t.Fatalf("ServeBytes %v below the raw fp32 weights %v", got, BytesFP32*params)
+	}
+	// Bookkeeping must stay marginal: under 0.1% at 7B scale.
+	if got > BytesFP32*params*1.001 {
+		t.Fatalf("ServeBytes %v carries more than 0.1%% overhead over %v", got, BytesFP32*params)
+	}
+	// Serving must be cheaper than an AdamW checkpoint of the same model
+	// (which adds two fp32 moments per weight): roughly one third.
+	ck := CheckpointBytesFor(cfg, MethodAdamW, 0)
+	if got > ck/2 {
+		t.Fatalf("ServeBytes %v not well below AdamW CheckpointBytes %v", got, ck)
+	}
+	// And ServeBytes must not depend on a method at all — that is the point
+	// of skipping the optimizer sections on the read path.
+	if ServeBytes(cfg.Shapes()) != got {
+		t.Fatal("ServeBytes drifted between call forms")
+	}
+}

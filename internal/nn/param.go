@@ -82,6 +82,18 @@ func (s *ParamSet) ZeroGrad() {
 	}
 }
 
+// FreeGrads releases every gradient accumulator, halving a model's resident
+// footprint for inference-only use (the evaluation service's open snapshots
+// never run a backward pass). After the call any gradient-touching operation
+// (Backward, ZeroGrad, ClipGradNorm) panics on the nil matrices — the crash
+// is deliberate: training a model that was declared eval-only is a bug, not
+// a state to limp through.
+func (s *ParamSet) FreeGrads() {
+	for _, p := range s.list {
+		p.Grad = nil
+	}
+}
+
 // NumParams returns the total trainable element count.
 func (s *ParamSet) NumParams() int {
 	total := 0

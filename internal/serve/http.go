@@ -1,0 +1,411 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"apollo/internal/data"
+	"apollo/internal/memmodel"
+	"apollo/internal/optim"
+	"apollo/internal/train"
+)
+
+// Server is the HTTP/JSON surface over a Registry. Endpoints (all JSON):
+//
+//	GET  /healthz        liveness
+//	GET  /v1/models      resident snapshots (LRU order) with footprints
+//	POST /v1/perplexity  {checkpoint, batches, batch, seq}
+//	POST /v1/logprob     {checkpoint, context, option}
+//	POST /v1/zeroshot    {checkpoint, items:[...]} or {checkpoint, suite_seed, items_per_task}
+//	POST /v1/finetune    {checkpoint, task:{...}, epochs, batch, lr, optimizer}
+//
+// Exact-value floats travel twice: as a JSON number and as a shortest
+// round-trip string (loss_text and friends), so shell clients can compare
+// served results bit-for-bit against offline values without a float parser.
+type Server struct {
+	reg *Registry
+}
+
+// NewServer wraps a registry.
+func NewServer(reg *Registry) *Server { return &Server{reg: reg} }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /v1/perplexity", s.handlePerplexity)
+	mux.HandleFunc("POST /v1/logprob", s.handleLogProb)
+	mux.HandleFunc("POST /v1/zeroshot", s.handleZeroShot)
+	mux.HandleFunc("POST /v1/finetune", s.handleFineTune)
+	return mux
+}
+
+// ListenAndServe builds a registry over cfg, preloads the given checkpoint
+// paths, and serves the API on addr until the listener fails.
+func ListenAndServe(addr string, cfg Config, paths []string) error {
+	reg, err := NewRegistry(cfg)
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		if _, err := reg.Acquire(p); err != nil {
+			return err
+		}
+	}
+	return http.ListenAndServe(addr, NewServer(reg).Handler())
+}
+
+// exact renders a float as its shortest round-trip decimal.
+func exact(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before touching the ResponseWriter: an unencodable value must
+	// surface as a 500, not a 200 with an empty body.
+	blob, err := json.Marshal(v)
+	if err != nil {
+		blob, _ = json.Marshal(errorResponse{Error: fmt.Sprintf("serve: encode response: %v", err)})
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(blob)
+	w.Write([]byte("\n"))
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+type modelInfo struct {
+	Checkpoint     string    `json:"checkpoint"`
+	Optimizer      string    `json:"optimizer"`
+	Step           int       `json:"step"`
+	Generation     int       `json:"generation"`
+	LoadedAt       time.Time `json:"loaded_at"`
+	ResidentBytes  int64     `json:"resident_bytes"`
+	PredictedBytes int64     `json:"predicted_bytes"` // memmodel.ServeBytes
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.Entries()
+	out := struct {
+		Models    []modelInfo `json:"models"`
+		Loads     int64       `json:"loads"`
+		Evictions int64       `json:"evictions"`
+	}{Models: []modelInfo{}, Loads: s.reg.Loads(), Evictions: s.reg.Evictions()}
+	for _, e := range entries {
+		shapes := make([]memmodel.Shape, 0)
+		for _, p := range e.model.Params().List() {
+			shapes = append(shapes, memmodel.Shape{Name: p.Name, Rows: p.W.Rows, Cols: p.W.Cols})
+		}
+		out.Models = append(out.Models, modelInfo{
+			Checkpoint:     e.Path,
+			Optimizer:      e.Optimizer,
+			Step:           e.Step,
+			Generation:     e.Generation,
+			LoadedAt:       e.LoadedAt,
+			ResidentBytes:  e.ResidentBytes(),
+			PredictedBytes: int64(memmodel.ServeBytes(shapes)),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type perplexityRequest struct {
+	Checkpoint string `json:"checkpoint"`
+	Batches    int    `json:"batches"`
+	Batch      int    `json:"batch"`
+	Seq        int    `json:"seq"`
+}
+
+type perplexityResponse struct {
+	Checkpoint string  `json:"checkpoint"`
+	Step       int     `json:"step"`
+	Optimizer  string  `json:"optimizer"`
+	Batches    int     `json:"batches"`
+	Loss       float64 `json:"loss"`
+	LossText   string  `json:"loss_text"`
+	PPL        float64 `json:"ppl"`
+}
+
+func (s *Server) handlePerplexity(w http.ResponseWriter, r *http.Request) {
+	var req perplexityRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Batches == 0 {
+		req.Batches = 4
+	}
+	var resp perplexityResponse
+	err := s.reg.WithEntry(req.Checkpoint, func(e *Entry) error {
+		b, t := req.Batch, req.Seq
+		if b == 0 {
+			b = 8
+		}
+		if t == 0 {
+			t = 32
+		}
+		loss, err := e.Perplexity(req.Batches, b, t)
+		if err != nil {
+			return err
+		}
+		resp = perplexityResponse{
+			Checkpoint: e.Path, Step: e.Step, Optimizer: e.Optimizer,
+			Batches: req.Batches, Loss: loss, LossText: exact(loss),
+		}
+		// ppl is a display value and saturates rather than carrying +Inf
+		// (which JSON cannot encode); loss/loss_text stay the exact contract.
+		resp.PPL = math.Exp(loss)
+		if math.IsInf(resp.PPL, 1) {
+			resp.PPL = math.MaxFloat64
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type logProbRequest struct {
+	Checkpoint string `json:"checkpoint"`
+	Context    []int  `json:"context"`
+	Option     []int  `json:"option"`
+}
+
+type logProbResponse struct {
+	Checkpoint  string  `json:"checkpoint"`
+	Step        int     `json:"step"`
+	LogProb     float64 `json:"logprob"`
+	LogProbText string  `json:"logprob_text"`
+}
+
+func (s *Server) handleLogProb(w http.ResponseWriter, r *http.Request) {
+	var req logProbRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var resp logProbResponse
+	err := s.reg.WithEntry(req.Checkpoint, func(e *Entry) error {
+		lp, err := e.LogProb(req.Context, req.Option)
+		if err != nil {
+			return err
+		}
+		resp = logProbResponse{Checkpoint: e.Path, Step: e.Step, LogProb: lp, LogProbText: exact(lp)}
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type zeroShotItem struct {
+	Context []int   `json:"context"`
+	Options [][]int `json:"options"`
+	Answer  int     `json:"answer"`
+}
+
+type zeroShotRequest struct {
+	Checkpoint string         `json:"checkpoint"`
+	Items      []zeroShotItem `json:"items"`
+	// SuiteSeed > 0 evaluates the generated Table-4 suite instead of
+	// explicit items (requires a configured corpus).
+	SuiteSeed    uint64 `json:"suite_seed"`
+	ItemsPerTask int    `json:"items_per_task"`
+}
+
+type zeroShotTask struct {
+	Task     string  `json:"task"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+type zeroShotResponse struct {
+	Checkpoint   string         `json:"checkpoint"`
+	Step         int            `json:"step"`
+	Accuracy     float64        `json:"accuracy"`
+	AccuracyText string         `json:"accuracy_text"`
+	Tasks        []zeroShotTask `json:"tasks,omitempty"`
+}
+
+func (s *Server) handleZeroShot(w http.ResponseWriter, r *http.Request) {
+	var req zeroShotRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var resp zeroShotResponse
+	err := s.reg.WithEntry(req.Checkpoint, func(e *Entry) error {
+		resp = zeroShotResponse{Checkpoint: e.Path, Step: e.Step}
+		if req.SuiteSeed > 0 {
+			if s.reg.cfg.Corpus == nil {
+				return fmt.Errorf("serve: suite queries need a configured corpus")
+			}
+			// Bounded like every other generation knob: item generation runs
+			// on the handler goroutine before any batcher check could bite.
+			if req.ItemsPerTask < 0 || req.ItemsPerTask > 1000 {
+				return fmt.Errorf("serve: items_per_task %d outside [0, 1000]", req.ItemsPerTask)
+			}
+			src := s.reg.cfg.Corpus.Source()
+			var sum float64
+			for _, cfg := range data.ZeroShotSuite(req.SuiteSeed) {
+				if req.ItemsPerTask > 0 {
+					cfg.Items = req.ItemsPerTask
+				}
+				acc, err := e.ZeroShot(data.GenerateMCTask(src, cfg))
+				if err != nil {
+					return err
+				}
+				resp.Tasks = append(resp.Tasks, zeroShotTask{Task: cfg.Name, Accuracy: acc})
+				sum += acc
+			}
+			resp.Accuracy = sum / float64(len(resp.Tasks))
+			resp.AccuracyText = exact(resp.Accuracy)
+			return nil
+		}
+		if len(req.Items) == 0 {
+			return fmt.Errorf("serve: zeroshot needs items or suite_seed")
+		}
+		items := make([]data.MCItem, len(req.Items))
+		for i, it := range req.Items {
+			if it.Answer < 0 || it.Answer >= len(it.Options) {
+				return fmt.Errorf("serve: item %d answer %d out of range", i, it.Answer)
+			}
+			items[i] = data.MCItem{Context: it.Context, Options: it.Options, Answer: it.Answer}
+		}
+		acc, err := e.ZeroShot(items)
+		if err != nil {
+			return err
+		}
+		resp.Accuracy = acc
+		resp.AccuracyText = exact(acc)
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type fineTuneTask struct {
+	Name    string  `json:"name"`
+	Train   int     `json:"train"`
+	Test    int     `json:"test"`
+	CtxLen  int     `json:"ctx_len"`
+	Classes int     `json:"classes"`
+	Noise   float64 `json:"noise"`
+	Seed    uint64  `json:"seed"`
+}
+
+type fineTuneRequest struct {
+	Checkpoint string       `json:"checkpoint"`
+	Task       fineTuneTask `json:"task"`
+	Epochs     int          `json:"epochs"`
+	Batch      int          `json:"batch"`
+	LR         float64      `json:"lr"`
+	// Optimizer is "SGD" (default — the Kumar et al. fine-tuning protocol
+	// the paper's comparisons follow) or "AdamW".
+	Optimizer string `json:"optimizer"`
+	Seed      uint64 `json:"seed"`
+}
+
+type fineTuneResponse struct {
+	Checkpoint   string  `json:"checkpoint"`
+	Step         int     `json:"step"`
+	Task         string  `json:"task"`
+	Accuracy     float64 `json:"accuracy"`
+	AccuracyText string  `json:"accuracy_text"`
+}
+
+func (s *Server) handleFineTune(w http.ResponseWriter, r *http.Request) {
+	var req fineTuneRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if s.reg.cfg.Corpus == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: finetune queries need a configured corpus"))
+		return
+	}
+	t := req.Task
+	if t.Train <= 0 || t.Test <= 0 || t.Train+t.Test > 10000 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: task needs 0 < train+test <= 10000"))
+		return
+	}
+	if t.Classes < 2 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: task needs >= 2 classes"))
+		return
+	}
+	if t.CtxLen < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: task needs ctx_len >= 1"))
+		return
+	}
+	if req.Epochs < 0 || req.Epochs > 20 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: epochs must be in [0, 20]"))
+		return
+	}
+	var resp fineTuneResponse
+	err := s.reg.WithEntry(req.Checkpoint, func(e *Entry) error {
+		if t.CtxLen+1 > e.model.Cfg.MaxSeq {
+			return fmt.Errorf("serve: ctx_len %d exceeds MaxSeq %d", t.CtxLen, e.model.Cfg.MaxSeq)
+		}
+		lr := req.LR
+		if lr == 0 {
+			lr = 1e-3
+		}
+		var opt optim.Optimizer
+		switch req.Optimizer {
+		case "", "SGD":
+			opt = optim.NewSGD(optim.Hyper{LR: lr}, 0.9)
+		case "AdamW":
+			opt = optim.NewAdamW(optim.Hyper{LR: lr})
+		default:
+			return fmt.Errorf("serve: unknown finetune optimizer %q (SGD or AdamW)", req.Optimizer)
+		}
+		task := data.GenerateFTTask(s.reg.cfg.Corpus.Source(), data.FTTaskConfig{
+			Name: t.Name, Train: t.Train, Test: t.Test, CtxLen: t.CtxLen,
+			Classes: t.Classes, Noise: t.Noise, Seed: t.Seed,
+		})
+		// Fine-tuning trains a clone — the served snapshot is immutable and
+		// the clone runs off-executor, so long tuning jobs never block
+		// perplexity traffic on the same model.
+		clone := e.CloneModel()
+		acc := train.FineTune(clone, opt, task, train.FineTuneConfig{
+			Epochs: req.Epochs, Batch: req.Batch, Seed: req.Seed,
+		})
+		resp = fineTuneResponse{
+			Checkpoint: e.Path, Step: e.Step, Task: task.Cfg.Name,
+			Accuracy: acc, AccuracyText: exact(acc),
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"apollo/internal/eval"
+	"apollo/internal/train"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, string, *Registry) {
+	t.Helper()
+	dir := t.TempDir()
+	path, _ := trainAndSave(t, dir, 3)
+	reg := newTestRegistry(t, cfg)
+	ts := httptest.NewServer(NewServer(reg).Handler())
+	t.Cleanup(ts.Close)
+	return ts, path, reg
+}
+
+func postJSON(t *testing.T, url string, req any, resp any) (int, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp != nil && r.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), resp); err != nil {
+			t.Fatalf("decode %q: %v", buf.String(), err)
+		}
+	}
+	return r.StatusCode, buf.String()
+}
+
+// TestHTTPPerplexityExactText: the HTTP surface preserves the determinism
+// contract — loss_text is the shortest round-trip rendering of the exact
+// offline train.Validate value, under concurrent requests.
+func TestHTTPPerplexityExactText(t *testing.T) {
+	dir := t.TempDir()
+	path, ref := trainAndSave(t, dir, 3)
+	reg := newTestRegistry(t, Config{})
+	ts := httptest.NewServer(NewServer(reg).Handler())
+	defer ts.Close()
+
+	offline := train.Validate(ref, serveTestCorpus(t), 4, 4, 16)
+	wantText := strconv.FormatFloat(offline, 'g', -1, 64)
+
+	var wg sync.WaitGroup
+	const n = 6
+	texts := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp perplexityResponse
+			status, raw := postJSON(t, ts.URL+"/v1/perplexity",
+				perplexityRequest{Checkpoint: path, Batches: 4, Batch: 4, Seq: 16}, &resp)
+			if status != http.StatusOK {
+				t.Errorf("status %d: %s", status, raw)
+				return
+			}
+			texts[i] = resp.LossText
+			if resp.Loss != offline {
+				t.Errorf("served loss %v != offline %v", resp.Loss, offline)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, txt := range texts {
+		if txt != wantText {
+			t.Fatalf("request %d loss_text %q != offline %q", i, txt, wantText)
+		}
+	}
+}
+
+func TestHTTPLogProbAndZeroShot(t *testing.T) {
+	dir := t.TempDir()
+	path, ref := trainAndSave(t, dir, 2)
+	reg := newTestRegistry(t, Config{})
+	ts := httptest.NewServer(NewServer(reg).Handler())
+	defer ts.Close()
+
+	ctx, opt := []int{1, 2, 3, 4}, []int{5, 6, 7}
+	var lp logProbResponse
+	if status, raw := postJSON(t, ts.URL+"/v1/logprob",
+		logProbRequest{Checkpoint: path, Context: ctx, Option: opt}, &lp); status != http.StatusOK {
+		t.Fatalf("logprob status %d: %s", status, raw)
+	}
+	if want := eval.OptionLogProb(ref, ctx, opt); lp.LogProb != want {
+		t.Fatalf("served logprob %v != eval %v", lp.LogProb, want)
+	}
+
+	// Explicit items, including an empty context (the fixed panic path).
+	var zs zeroShotResponse
+	req := zeroShotRequest{Checkpoint: path, Items: []zeroShotItem{
+		{Context: []int{1, 2}, Options: [][]int{{3, 4}, {5, 6}}, Answer: 0},
+		{Context: nil, Options: [][]int{{7, 8}, {9, 10}, {11, 12}}, Answer: 2},
+	}}
+	if status, raw := postJSON(t, ts.URL+"/v1/zeroshot", req, &zs); status != http.StatusOK {
+		t.Fatalf("zeroshot status %d: %s", status, raw)
+	}
+	if zs.Accuracy < 0 || zs.Accuracy > 1 {
+		t.Fatalf("accuracy %v out of bounds", zs.Accuracy)
+	}
+
+	// Generated-suite mode with small tasks.
+	var suite zeroShotResponse
+	if status, raw := postJSON(t, ts.URL+"/v1/zeroshot",
+		zeroShotRequest{Checkpoint: path, SuiteSeed: 7, ItemsPerTask: 2}, &suite); status != http.StatusOK {
+		t.Fatalf("suite status %d: %s", status, raw)
+	}
+	if len(suite.Tasks) != 10 {
+		t.Fatalf("%d suite tasks, want 10", len(suite.Tasks))
+	}
+}
+
+func TestHTTPFineTuneAndModels(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := trainAndSave(t, dir, 2)
+	reg := newTestRegistry(t, Config{})
+	ts := httptest.NewServer(NewServer(reg).Handler())
+	defer ts.Close()
+
+	var ft fineTuneResponse
+	req := fineTuneRequest{
+		Checkpoint: path,
+		Task:       fineTuneTask{Name: "probe", Train: 12, Test: 8, CtxLen: 8, Classes: 2, Seed: 3},
+		Epochs:     1, Batch: 4,
+	}
+	if status, raw := postJSON(t, ts.URL+"/v1/finetune", req, &ft); status != http.StatusOK {
+		t.Fatalf("finetune status %d: %s", status, raw)
+	}
+	if ft.Accuracy < 0 || ft.Accuracy > 1 {
+		t.Fatalf("accuracy %v out of bounds", ft.Accuracy)
+	}
+
+	r, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var models struct {
+		Models []modelInfo `json:"models"`
+		Loads  int64       `json:"loads"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	if len(models.Models) != 1 || models.Loads != 1 {
+		t.Fatalf("models listing %+v", models)
+	}
+	m := models.Models[0]
+	if m.Checkpoint != path || m.Step != 2 || m.ResidentBytes <= 0 {
+		t.Fatalf("model info %+v", m)
+	}
+	if dev := float64(m.PredictedBytes-m.ResidentBytes) / float64(m.ResidentBytes); dev < -0.02 || dev > 0.02 {
+		t.Fatalf("predicted %d vs resident %d bytes: %+.2f%%", m.PredictedBytes, m.ResidentBytes, dev*100)
+	}
+
+	if r, err := http.Get(ts.URL + "/healthz"); err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", r, err)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts, path, _ := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		url  string
+		req  any
+	}{
+		{"missing checkpoint", "/v1/perplexity", perplexityRequest{Checkpoint: "/does/not/exist"}},
+		{"bad token", "/v1/logprob", logProbRequest{Checkpoint: path, Context: []int{1}, Option: []int{9999}}},
+		{"no items", "/v1/zeroshot", zeroShotRequest{Checkpoint: path}},
+		{"bad answer", "/v1/zeroshot", zeroShotRequest{Checkpoint: path,
+			Items: []zeroShotItem{{Options: [][]int{{1}}, Answer: 5}}}},
+		{"bad task", "/v1/finetune", fineTuneRequest{Checkpoint: path}},
+		{"negative ctx_len", "/v1/finetune", fineTuneRequest{Checkpoint: path,
+			Task: fineTuneTask{Train: 1, Test: 1, CtxLen: -1, Classes: 2}}},
+		{"unbounded items_per_task", "/v1/zeroshot", zeroShotRequest{Checkpoint: path,
+			SuiteSeed: 1, ItemsPerTask: 1 << 30}},
+		{"negative batches", "/v1/perplexity", perplexityRequest{Checkpoint: path, Batches: -1}},
+		{"unknown field", "/v1/perplexity", map[string]any{"checkpoint": path, "nope": 1}},
+	}
+	for _, tc := range cases {
+		status, raw := postJSON(t, ts.URL+tc.url, tc.req, nil)
+		if status != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (%s), want 400", tc.name, status, raw)
+		}
+		var er errorResponse
+		if err := json.Unmarshal([]byte(raw), &er); err != nil || er.Error == "" {
+			t.Fatalf("%s: malformed error body %q", tc.name, raw)
+		}
+	}
+}

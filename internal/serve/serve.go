@@ -1,0 +1,422 @@
+// Package serve is the checkpoint-streamed evaluation service: it loads any
+// internal/ckpt snapshot through the weights-only read path and answers the
+// paper's Section 5 queries — validation perplexity, zero-shot multiple
+// choice, option log-probabilities and fine-tuning accuracy — without
+// re-running training.
+//
+// Three pieces:
+//
+//   - Registry: a snapshot registry with an LRU model cache and hot reload.
+//     Every Acquire re-stats the checkpoint file; when the bytes on disk
+//     changed (a training run's periodic save), a fresh model is loaded and
+//     swapped in atomically while in-flight queries finish on the old one —
+//     pointing the service at a live run's -save path yields a
+//     live-updating endpoint.
+//
+//   - Batcher (batcher.go): one executor per open snapshot that coalesces
+//     concurrent option-scoring queries into batched nn.Model forwards on
+//     the shared internal/runtime worker pool.
+//
+//   - Server (http.go): the HTTP/JSON surface over both.
+//
+// Determinism contract: a served perplexity query returns the bit-identical
+// loss train.Validate computes on the restored snapshot, at any batcher
+// concurrency — queries touching a model are serialized through its
+// executor, every forward depends only on its inputs (the runtime kernel
+// contract), and batched scoring is row-local, so concurrency changes
+// latency, never results (TestServedPerplexityBitIdentical,
+// TestBatchedScoringMatchesEval).
+//
+// Memory contract: an open snapshot costs model-weight memory, not
+// training memory — ckpt.ReadModel skips the OPTG/OPTP optimizer sections
+// and gradient accumulators are freed after load, so Entry.ResidentBytes
+// tracks memmodel.ServeBytes within 2% (TestResidentBytesMatchServeModel).
+package serve
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apollo/internal/ckpt"
+	"apollo/internal/data"
+	"apollo/internal/nn"
+	"apollo/internal/tensor"
+	"apollo/internal/train"
+)
+
+// Config parameterizes a Registry.
+type Config struct {
+	// Model is the architecture every served checkpoint must match (the
+	// checkpoint's self-describing parameter table is verified against it
+	// on load). Head count is not recoverable from weight shapes alone, so
+	// the service cannot infer this from the file.
+	Model nn.Config
+	// Corpus supplies the fixed validation batches for perplexity queries
+	// and the source for generated zero-shot/fine-tune tasks. It must be
+	// built with the same seeds as the training run for served perplexity
+	// to equal the trainer's (bench.NewCorpus(seed+17) for the CLIs). May
+	// be nil for a logprob/zeroshot-items-only service.
+	Corpus *data.Corpus
+	// MaxModels bounds the snapshots resident at once; the least recently
+	// acquired is evicted beyond it. Default 4.
+	MaxModels int
+	// MaxBatch caps how many scoring sequences coalesce into one batched
+	// forward. Default 8.
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxModels < 1 {
+		c.MaxModels = 4
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 8
+	}
+	return c
+}
+
+// Entry is one immutable open snapshot: the restored eval-only model plus
+// identity. A hot reload never mutates an Entry — it builds a successor and
+// swaps the registry pointer, so queries running on the old generation
+// finish undisturbed.
+type Entry struct {
+	Path       string
+	Optimizer  string
+	Step       int
+	LR         float64
+	Generation int // 1-based reload count for this path
+	LoadedAt   time.Time
+
+	fi      os.FileInfo // stat at load time: mtime, size and (via os.SameFile) inode
+	model   *nn.Model
+	batcher *batcher
+	corpus  *data.Corpus
+}
+
+// ResidentBytes is the measured footprint of the open snapshot: the fp32
+// weights actually held live. Gradients are freed on load and the optimizer
+// sections were never decoded, so this is what serving costs.
+func (e *Entry) ResidentBytes() int64 {
+	var total int64
+	for _, p := range e.model.Params().List() {
+		total += 4 * int64(p.NumEl())
+		if p.Grad != nil {
+			total += 4 * int64(p.Grad.NumEl())
+		}
+	}
+	return total
+}
+
+// ModelConfig exposes the served architecture (not the live instance).
+func (e *Entry) ModelConfig() nn.Config { return e.model.Cfg }
+
+// BatcherStats returns the entry's coalescing counters.
+func (e *Entry) BatcherStats() Stats { return e.batcher.Stats() }
+
+// Perplexity evaluates the corpus's fixed validation batches exactly as
+// train.Validate does, serialized through the entry's executor. The result
+// is bit-identical to the offline value at any concurrency.
+func (e *Entry) Perplexity(batches, b, t int) (float64, error) {
+	if e.corpus == nil {
+		return 0, fmt.Errorf("serve: no corpus configured for perplexity queries")
+	}
+	// Bounded like the finetune knobs: the query runs exclusively on the
+	// entry's executor, so an absurd size would wedge every other query on
+	// this snapshot behind it (and a huge batch allocation cannot be
+	// recovered once it OOMs).
+	if batches < 1 || batches > 1024 {
+		return 0, fmt.Errorf("serve: perplexity batches %d outside [1, 1024]", batches)
+	}
+	if b < 1 || b > 1024 || t < 1 || t > e.model.Cfg.MaxSeq {
+		return 0, fmt.Errorf("serve: perplexity batch %d x seq %d invalid (batch <= 1024, seq <= MaxSeq %d)", b, t, e.model.Cfg.MaxSeq)
+	}
+	var loss float64
+	err := e.batcher.exec(func(m *nn.Model) {
+		loss = train.Validate(m, e.corpus, batches, b, t)
+	})
+	return loss, err
+}
+
+// LogProb scores one candidate continuation under the served model —
+// eval.OptionLogProb's length-normalized rule, routed through the batcher
+// so concurrent queries share forwards.
+func (e *Entry) LogProb(context, option []int) (float64, error) {
+	rq, err := e.newScoreReq(context, option)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.batcher.score([]*scoreReq{rq}); err != nil {
+		return 0, err
+	}
+	return rq.result, nil
+}
+
+// ZeroShot scores a multiple-choice item set and returns the accuracy under
+// the likelihood-comparison protocol (eval.ZeroShotAccuracy). All options
+// of all items are submitted to the batcher at once, so a single query
+// already fills batched forwards.
+func (e *Entry) ZeroShot(items []data.MCItem) (float64, error) {
+	if len(items) == 0 {
+		return 0, nil
+	}
+	var all []*scoreReq
+	per := make([][]*scoreReq, len(items))
+	for i, it := range items {
+		if len(it.Options) == 0 {
+			return 0, fmt.Errorf("serve: item %d has no options", i)
+		}
+		for _, opt := range it.Options {
+			rq, err := e.newScoreReq(it.Context, opt)
+			if err != nil {
+				return 0, err
+			}
+			per[i] = append(per[i], rq)
+			all = append(all, rq)
+		}
+	}
+	if err := e.batcher.score(all); err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, it := range items {
+		best, bi := math.Inf(-1), 0
+		for o, rq := range per[i] {
+			if rq.result > best {
+				best, bi = rq.result, o
+			}
+		}
+		if bi == it.Answer {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(items)), nil
+}
+
+// CloneModel returns an independent trainable copy of the served weights —
+// the starting point for fine-tune-accuracy queries, which must never
+// mutate the served snapshot. Weight reads race nothing: entries are
+// immutable and forwards do not write weights.
+func (e *Entry) CloneModel() *nn.Model {
+	m := nn.NewModel(e.model.Cfg, tensor.NewRNG(1))
+	src := e.model.Params().List()
+	for i, p := range m.Params().List() {
+		p.W.CopyFrom(src[i].W)
+	}
+	return m
+}
+
+// newScoreReq validates a query against the served architecture before it
+// can reach the executor (a panic there would take the service down).
+func (e *Entry) newScoreReq(context, option []int) (*scoreReq, error) {
+	cfg := e.model.Cfg
+	if n := len(context) + len(option) - 1; n > cfg.MaxSeq {
+		return nil, fmt.Errorf("serve: query of %d tokens exceeds MaxSeq %d", n+1, cfg.MaxSeq)
+	}
+	for _, tok := range context {
+		if tok < 0 || tok >= cfg.Vocab {
+			return nil, fmt.Errorf("serve: context token %d outside vocab %d", tok, cfg.Vocab)
+		}
+	}
+	for _, tok := range option {
+		if tok < 0 || tok >= cfg.Vocab {
+			return nil, fmt.Errorf("serve: option token %d outside vocab %d", tok, cfg.Vocab)
+		}
+	}
+	return newScoreReq(context, option), nil
+}
+
+// slot is the registry's per-path cell: it serializes loads for one
+// checkpoint path and holds the atomically swappable current entry.
+type slot struct {
+	mu      sync.Mutex
+	cur     atomic.Pointer[Entry]
+	gen     int
+	lastUse int64 // registry LRU clock (under Registry.mu)
+}
+
+// Registry is the snapshot registry: path → open model, LRU-bounded, with
+// hot reload on file change.
+type Registry struct {
+	cfg Config
+
+	mu    sync.Mutex
+	slots map[string]*slot
+	clock int64
+
+	loads  atomic.Int64
+	evicts atomic.Int64
+}
+
+// NewRegistry builds a registry for one served architecture.
+func NewRegistry(cfg Config) (*Registry, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	return &Registry{cfg: cfg.withDefaults(), slots: map[string]*slot{}}, nil
+}
+
+// Loads returns how many snapshot loads (initial + hot reloads) happened.
+func (r *Registry) Loads() int64 { return r.loads.Load() }
+
+// Evictions returns how many snapshots the LRU bound pushed out.
+func (r *Registry) Evictions() int64 { return r.evicts.Load() }
+
+// Acquire returns the current entry for a checkpoint path, loading it on
+// first use and hot-reloading when the file on disk changed. Change
+// detection compares the inode (os.SameFile) as well as mtime and size:
+// the atomic temp+rename save always lands on a fresh inode, so two
+// periodic saves of the same run are told apart even when they are
+// byte-count-identical and within one coarse filesystem timestamp tick.
+// The returned entry stays valid for the caller's query even if a newer
+// generation or an eviction supersedes it.
+func (r *Registry) Acquire(path string) (*Entry, error) {
+	r.mu.Lock()
+	s, ok := r.slots[path]
+	if !ok {
+		s = &slot{}
+		r.slots[path] = s
+		r.evictLocked(path)
+	}
+	r.clock++
+	s.lastUse = r.clock
+	r.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fi, err := os.Stat(path)
+	if err != nil {
+		r.dropIfEmpty(path, s)
+		return nil, err
+	}
+	if cur := s.cur.Load(); cur != nil && os.SameFile(cur.fi, fi) &&
+		cur.fi.ModTime().Equal(fi.ModTime()) && cur.fi.Size() == fi.Size() {
+		return cur, nil
+	}
+	e, err := r.load(path, fi)
+	if err != nil {
+		r.dropIfEmpty(path, s)
+		return nil, err
+	}
+	s.gen++
+	e.Generation = s.gen
+	if old := s.cur.Swap(e); old != nil {
+		old.batcher.close()
+	}
+	// An eviction (another Acquire filling the registry past MaxModels) may
+	// have removed this slot from the map while the load ran — nothing
+	// would ever close the fresh entry's executor then. Detect the orphan
+	// and drain it; the caller's queries get the retryable errClosed and
+	// WithEntry lands on a clean reload.
+	r.mu.Lock()
+	alive := r.slots[path] == s
+	r.mu.Unlock()
+	if !alive {
+		e.batcher.close()
+	}
+	return e, nil
+}
+
+// Entries snapshots the currently resident entries, most recently used
+// first.
+func (r *Registry) Entries() []*Entry {
+	r.mu.Lock()
+	type row struct {
+		e  *Entry
+		at int64
+	}
+	var rows []row
+	for _, s := range r.slots {
+		if e := s.cur.Load(); e != nil {
+			rows = append(rows, row{e, s.lastUse})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].at > rows[j].at })
+	out := make([]*Entry, len(rows))
+	for i, rw := range rows {
+		out[i] = rw.e
+	}
+	return out
+}
+
+// load opens a checkpoint through the weights-only path and builds the
+// eval-only model.
+func (r *Registry) load(path string, fi os.FileInfo) (*Entry, error) {
+	snap, err := ckpt.LoadModelFile(path)
+	if err != nil {
+		return nil, err
+	}
+	model := nn.NewModel(r.cfg.Model, tensor.NewRNG(1))
+	if err := snap.InstallWeights(model.Params().List()); err != nil {
+		return nil, fmt.Errorf("serve: %s does not match the served architecture: %w", path, err)
+	}
+	// Eval-only: free the gradient accumulators; the snapshot's own weight
+	// copies are garbage after InstallWeights. Resident cost from here on
+	// is one set of fp32 weights (memmodel.ServeBytes).
+	model.Params().FreeGrads()
+	r.loads.Add(1)
+	return &Entry{
+		Path:      path,
+		Optimizer: snap.Optimizer,
+		Step:      snap.Step,
+		LR:        snap.LR,
+		LoadedAt:  time.Now(),
+		fi:        fi,
+		model:     model,
+		batcher:   newBatcher(model, r.cfg.MaxBatch),
+		corpus:    r.cfg.Corpus,
+	}, nil
+}
+
+// evictLocked drops least-recently-used slots beyond MaxModels, never the
+// one just added. Callers hold r.mu.
+func (r *Registry) evictLocked(keep string) {
+	for len(r.slots) > r.cfg.MaxModels {
+		victim, oldest := "", int64(math.MaxInt64)
+		for p, s := range r.slots {
+			if p != keep && s.lastUse < oldest {
+				victim, oldest = p, s.lastUse
+			}
+		}
+		if victim == "" {
+			return
+		}
+		s := r.slots[victim]
+		delete(r.slots, victim)
+		if e := s.cur.Load(); e != nil {
+			e.batcher.close()
+		}
+		r.evicts.Add(1)
+	}
+}
+
+// dropIfEmpty removes a slot that never loaded anything so failed paths
+// don't occupy LRU capacity.
+func (r *Registry) dropIfEmpty(path string, s *slot) {
+	r.mu.Lock()
+	if cur, ok := r.slots[path]; ok && cur == s && s.cur.Load() == nil {
+		delete(r.slots, path)
+	}
+	r.mu.Unlock()
+}
+
+// WithEntry acquires the path and runs f on its entry, retrying once if the
+// entry was superseded (hot reload or eviction) between acquire and use.
+func (r *Registry) WithEntry(path string, f func(*Entry) error) error {
+	for attempt := 0; ; attempt++ {
+		e, err := r.Acquire(path)
+		if err != nil {
+			return err
+		}
+		err = f(e)
+		if err == errClosed && attempt == 0 {
+			continue
+		}
+		return err
+	}
+}

@@ -198,8 +198,13 @@ func lossAccum(model *nn.Model, batch data.Batch, accum int) float64 {
 }
 
 // Validate returns the mean validation loss over the corpus's fixed
-// evaluation batches.
+// evaluation batches. batches <= 0 evaluates nothing and returns 0 by
+// convention (perplexity 1) — never the NaN a zero divisor would produce,
+// which math.Exp would otherwise propagate into every downstream perplexity.
 func Validate(model *nn.Model, corpus *data.Corpus, batches, b, t int) float64 {
+	if batches <= 0 {
+		return 0
+	}
 	var total float64
 	for i := 0; i < batches; i++ {
 		vb := corpus.ValBatch(i, b, t)
@@ -257,10 +262,11 @@ func FineTune(model *nn.Model, opt optim.Optimizer, task *data.FTTask, cfg FineT
 			j := next(i + 1)
 			order[i], order[j] = order[j], order[i]
 		}
-		for at := 0; at+cfg.Batch <= len(order); at += cfg.Batch {
-			tokens := make([]int, 0, cfg.Batch*seqLen)
-			targets := make([]int, 0, cfg.Batch*seqLen)
-			for _, idx := range order[at : at+cfg.Batch] {
+		for _, span := range batchSpans(len(order), cfg.Batch) {
+			bsz := span[1] - span[0]
+			tokens := make([]int, 0, bsz*seqLen)
+			targets := make([]int, 0, bsz*seqLen)
+			for _, idx := range order[span[0]:span[1]] {
 				tk, tg := EncodeFT(task, task.TrainSet[idx])
 				tokens = append(tokens, tk...)
 				targets = append(targets, tg...)
@@ -269,12 +275,31 @@ func FineTune(model *nn.Model, opt optim.Optimizer, task *data.FTTask, cfg FineT
 				opt.SetLR(cfg.Schedule.At(step))
 			}
 			model.Params().ZeroGrad()
-			model.Loss(tokens, targets, cfg.Batch, seqLen)
+			model.Loss(tokens, targets, bsz, seqLen)
 			opt.Step(model.Params().List())
 			step++
 		}
 	}
 	return FTAccuracy(model, task)
+}
+
+// batchSpans cuts [0, n) into batch-sized [lo, hi) spans, the last possibly
+// short. Every index lands in exactly one span, so an epoch visits every
+// example even when n is not a multiple of batch — the trailing examples
+// train as a short batch instead of being silently dropped.
+func batchSpans(n, batch int) [][2]int {
+	if batch < 1 {
+		batch = 1
+	}
+	var spans [][2]int
+	for at := 0; at < n; at += batch {
+		hi := at + batch
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, [2]int{at, hi})
+	}
+	return spans
 }
 
 // FTAccuracy evaluates test accuracy: argmax over the task's label tokens at
@@ -305,8 +330,16 @@ func (r Result) String() string {
 		r.Optimizer, r.FinalValPPL, FormatBytes(r.StateBytes), r.WallSeconds)
 }
 
-// FormatBytes renders byte counts for tables.
+// FormatBytes renders byte counts for tables. Negative counts (deltas,
+// prediction errors) keep their sign in front of the scaled magnitude.
 func FormatBytes(b int64) string {
+	if b < 0 {
+		if b == math.MinInt64 {
+			// -b would overflow; one byte of slack is invisible at 8 EiB.
+			b++
+		}
+		return "-" + FormatBytes(-b)
+	}
 	switch {
 	case b >= 1<<30:
 		return fmt.Sprintf("%.2fG", float64(b)/(1<<30))
