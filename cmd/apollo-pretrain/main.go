@@ -38,6 +38,7 @@ import (
 
 	"apollo/internal/bench"
 	"apollo/internal/ckpt"
+	"apollo/internal/obs"
 	"apollo/internal/optim"
 	rt "apollo/internal/runtime"
 	"apollo/internal/train"
@@ -61,6 +62,7 @@ func main() {
 		save     = flag.String("save", "", "checkpoint file to write (periodically with -ckpt-every, always at the end)")
 		ckptEach = flag.Int("ckpt-every", 0, "steps between periodic checkpoint saves (0 = only final)")
 		resume   = flag.String("resume", "", "checkpoint file to resume from")
+		telem    = flag.String("telemetry", "", "stream per-step phase timings as JSONL to this file (timing only; never changes results)")
 	)
 	flag.Parse()
 
@@ -153,6 +155,16 @@ func main() {
 			fmt.Printf(format+"\n", args...)
 		},
 	}
+	if *telem != "" {
+		f, err := os.Create(*telem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		pcfg.Telemetry = obs.NewTrainRecorder(f)
+		fmt.Printf("telemetry: per-step phase timings → %s\n", *telem)
+	}
 	var res train.Result
 	if *replicas > 0 {
 		mode := "data-parallel"
@@ -182,6 +194,15 @@ func main() {
 		fmt.Printf("final checkpoint → %s\n", *save)
 	}
 	fmt.Printf("\nfinal: %s\n", res.String())
+	if res.PhaseSeconds != nil {
+		fmt.Printf("phase breakdown over %s of stepped wall time:\n",
+			fmtSeconds(res.StepWallSeconds))
+		for _, name := range obs.PhaseNames() {
+			if s, ok := res.PhaseSeconds[name]; ok {
+				fmt.Printf("  %-10s %10s  (%4.1f%%)\n", name, fmtSeconds(s), 100*s/res.StepWallSeconds)
+			}
+		}
+	}
 	if len(res.ReplicaStateBytes) > 0 {
 		per := make([]string, len(res.ReplicaStateBytes))
 		for i, b := range res.ReplicaStateBytes {
@@ -191,6 +212,9 @@ func main() {
 			strings.Join(per, " "), train.FormatBytes(res.StateBytes))
 	}
 }
+
+// fmtSeconds prints a duration in seconds at millisecond resolution.
+func fmtSeconds(s float64) string { return fmt.Sprintf("%.3fs", s) }
 
 func maxInt(a, b int) int {
 	if a > b {

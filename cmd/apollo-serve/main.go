@@ -26,14 +26,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
-	"strconv"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"apollo/internal/bench"
 	"apollo/internal/ckpt"
 	"apollo/internal/nn"
+	"apollo/internal/obs"
 	rt "apollo/internal/runtime"
 	"apollo/internal/serve"
 	"apollo/internal/tensor"
@@ -52,6 +58,8 @@ func main() {
 		batches   = flag.Int("batches", 4, "validation batches (offline mode)")
 		batch     = flag.Int("batch", 0, "validation batch size (offline mode; 0 = proxy default)")
 		seq       = flag.Int("seq", 0, "validation sequence length (offline mode; 0 = proxy default)")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		traceOut  = flag.String("trace", "", "append per-request trace spans to this JSONL file")
 	)
 	flag.Parse()
 
@@ -87,27 +95,60 @@ func main() {
 			fail(err)
 		}
 		loss := train.Validate(model, corpus, *batches, b, t)
-		fmt.Println(exactFloat(loss))
+		fmt.Println(serve.ExactFloat(loss))
 		return
+	}
+
+	metrics := obs.NewRegistry()
+	rt.InstrumentDefault(metrics)
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f)
 	}
 
 	cfg := serve.Config{
 		Model: proxy.Model, Corpus: corpus,
 		MaxModels: *maxModels, MaxBatch: *maxBatch,
+		Metrics: metrics, Tracer: tracer, Pprof: *pprofOn,
+	}
+	reg, err := serve.NewRegistry(cfg)
+	if err != nil {
+		fail(err)
 	}
 	fmt.Printf("apollo-serve: proxy-%s architecture, %d workers, up to %d resident snapshots, listening on %s\n",
 		proxy.Name, rt.Workers(), *maxModels, *addr)
 	for _, p := range flag.Args() {
 		fmt.Printf("  preloading %s\n", p)
+		if _, err := reg.Acquire(p); err != nil {
+			fail(err)
+		}
 	}
-	if err := serve.ListenAndServe(*addr, cfg, flag.Args()); err != nil {
+
+	// Serve until the listener fails or a SIGINT/SIGTERM arrives; on signal,
+	// stop accepting and drain in-flight queries before exiting.
+	srv := serve.NewHTTPServer(*addr, serve.NewServer(reg).Handler())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		fail(err)
+	case <-ctx.Done():
+		stop()
+		fmt.Println("apollo-serve: shutdown signal, draining in-flight queries")
+		drain, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(drain); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
 	}
 }
-
-// exactFloat mirrors the server's loss_text rendering (shortest decimal
-// that round-trips the float64).
-func exactFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, err)

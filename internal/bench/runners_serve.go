@@ -11,6 +11,7 @@ import (
 
 	"apollo/internal/ckpt"
 	"apollo/internal/memmodel"
+	"apollo/internal/obs"
 	"apollo/internal/optim"
 	"apollo/internal/serve"
 	"apollo/internal/tensor"
@@ -27,12 +28,17 @@ func init() {
 }
 
 // serveBenchRow is one concurrency level's measured throughput/latency.
+// Quantiles are read from an obs.Histogram over per-query latencies, so
+// they carry the same bucket resolution the live /metrics endpoint reports.
 type serveBenchRow struct {
 	Concurrency   int     `json:"concurrency"`
 	Queries       int     `json:"queries"`
 	WallSeconds   float64 `json:"wall_seconds"`
 	QPS           float64 `json:"qps"`
 	MeanLatencyMS float64 `json:"mean_latency_ms"`
+	P50LatencyMS  float64 `json:"p50_ms"`
+	P95LatencyMS  float64 `json:"p95_ms"`
+	P99LatencyMS  float64 `json:"p99_ms"`
 }
 
 // serveBenchReport is the BENCH_serve.json schema.
@@ -184,27 +190,24 @@ func runServe(ctx *RunContext) error {
 	}
 	var rows []serveBenchRow
 	ctx.Printf("logprob throughput (%d queries, ctx 16 + opt 8):\n", queries)
-	ctx.Printf("  %-12s %10s %10s %14s\n", "concurrency", "wall", "qps", "mean latency")
+	ctx.Printf("  %-12s %10s %10s %14s %9s %9s %9s\n",
+		"concurrency", "wall", "qps", "mean latency", "p50", "p95", "p99")
 	for _, conc := range []int{1, 2, 4, 8} {
-		var latSum int64 // nanoseconds, atomically accumulated per query
-		var mu sync.Mutex
+		o := obs.NewRegistry()
+		lat := o.Histogram("bench_query_seconds", "Per-query logprob latency.", obs.LatencyBuckets)
 		var wg sync.WaitGroup
 		start := time.Now()
 		for w := 0; w < conc; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				var local int64
 				for i := w; i < len(qs); i += conc {
 					t0 := time.Now()
 					if _, err := e2.LogProb(qs[i].ctx, qs[i].opt); err != nil {
 						panic(err)
 					}
-					local += time.Since(t0).Nanoseconds()
+					lat.Observe(time.Since(t0).Seconds())
 				}
-				mu.Lock()
-				latSum += local
-				mu.Unlock()
 			}(w)
 		}
 		wg.Wait()
@@ -214,10 +217,15 @@ func runServe(ctx *RunContext) error {
 			Queries:       len(qs),
 			WallSeconds:   wall,
 			QPS:           float64(len(qs)) / wall,
-			MeanLatencyMS: float64(latSum) / float64(len(qs)) / 1e6,
+			MeanLatencyMS: lat.Sum() / float64(lat.Count()) * 1e3,
+			P50LatencyMS:  lat.Quantile(0.50) * 1e3,
+			P95LatencyMS:  lat.Quantile(0.95) * 1e3,
+			P99LatencyMS:  lat.Quantile(0.99) * 1e3,
 		}
 		rows = append(rows, row)
-		ctx.Printf("  %-12d %9.3fs %10.1f %12.2fms\n", conc, row.WallSeconds, row.QPS, row.MeanLatencyMS)
+		ctx.Printf("  %-12d %9.3fs %10.1f %12.2fms %7.1fms %7.1fms %7.1fms\n",
+			conc, row.WallSeconds, row.QPS, row.MeanLatencyMS,
+			row.P50LatencyMS, row.P95LatencyMS, row.P99LatencyMS)
 	}
 	st := e2.BatcherStats()
 	ctx.Printf("\ncoalescing: %d scoring units over %d batched forwards (largest batch %d)\n",

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// RenderPrometheus writes the registry in Prometheus text exposition format
+// (version 0.0.4): one HELP/TYPE header per family in registration order,
+// then one sample line per instance — histograms expand into cumulative
+// _bucket{le=...} lines plus _sum and _count. A nil registry renders
+// nothing.
+func (r *Registry) RenderPrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, name := range r.order {
+		fam := r.families[name]
+		if fam.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.typ)
+		for _, in := range fam.instances {
+			switch m := in.(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", fam.name, renderLabels(m.labels), m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", fam.name, renderLabels(m.labels), formatValue(m.Value()))
+			case *funcGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", fam.name, renderLabels(m.labels), formatValue(m.fn()))
+			case *Histogram:
+				cum := m.snapshot()
+				for i, le := range m.le {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", fam.name, renderLabels(m.labels, Label{"le", formatValue(le)}), cum[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", fam.name, renderLabels(m.labels, Label{"le", "+Inf"}), cum[len(cum)-1])
+				fmt.Fprintf(&b, "%s_sum%s %s\n", fam.name, renderLabels(m.labels), formatValue(m.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", fam.name, renderLabels(m.labels), m.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteVars renders the registry as one JSON object — the GET /debug/vars
+// view. Keys are "name{labels}"; counters and gauges map to their value,
+// histograms to {count, sum, p50, p95, p99, max}. A nil registry renders
+// "{}".
+func (r *Registry) WriteVars(w io.Writer) error {
+	vars := map[string]any{}
+	if r != nil {
+		r.mu.Lock()
+		for _, name := range r.order {
+			fam := r.families[name]
+			for _, in := range fam.instances {
+				key := fam.name + renderLabels(in.labelSet())
+				switch m := in.(type) {
+				case *Counter:
+					vars[key] = m.Value()
+				case *Gauge:
+					vars[key] = m.Value()
+				case *funcGauge:
+					vars[key] = m.fn()
+				case *Histogram:
+					hv := map[string]any{
+						"count": m.Count(),
+						"sum":   m.Sum(),
+						"p50":   m.Quantile(0.50),
+						"p95":   m.Quantile(0.95),
+						"p99":   m.Quantile(0.99),
+					}
+					if m.Count() > 0 {
+						hv["max"] = math.Float64frombits(m.max.Load())
+					}
+					vars[key] = hv
+				}
+			}
+		}
+		r.mu.Unlock()
+	}
+	blob, err := json.MarshalIndent(vars, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	_, err = w.Write(blob)
+	return err
+}
+
+// renderLabels formats a label set as {k="v",...} with proper escaping, or
+// "" when empty.
+func renderLabels(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a float the exposition way: shortest round-trip
+// decimal, infinities as +Inf/-Inf.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

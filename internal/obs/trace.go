@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JSONLWriter serializes values as one JSON object per line onto an
+// io.Writer, safe for concurrent emitters. Nil-safe: a nil writer drops
+// events at one branch.
+type JSONLWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJSONLWriter wraps w; a nil w yields a nil (disabled) writer.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	if w == nil {
+		return nil
+	}
+	return &JSONLWriter{w: w}
+}
+
+// Emit marshals v and appends it as one line.
+func (jw *JSONLWriter) Emit(v any) error {
+	if jw == nil {
+		return nil
+	}
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	_, err = jw.w.Write(blob)
+	return err
+}
+
+// Tracer hands out spans and writes one JSONL event per finished span.
+// Trace IDs double as request IDs: every root span starts a new trace whose
+// ID the serve layer echoes in the X-Request-Id response header. Nil-safe —
+// a nil tracer hands out nil spans whose methods all no-op.
+type Tracer struct {
+	w      *JSONLWriter
+	traces atomic.Uint64
+	spans  atomic.Uint64
+}
+
+// NewTracer emits span events to w as JSONL; a nil w yields a nil
+// (disabled) tracer.
+func NewTracer(w io.Writer) *Tracer {
+	jw := NewJSONLWriter(w)
+	if jw == nil {
+		return nil
+	}
+	return &Tracer{w: jw}
+}
+
+// spanEvent is the JSONL schema of one finished span.
+type spanEvent struct {
+	Trace   string         `json:"trace"`
+	Span    string         `json:"span"`
+	Parent  string         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartUS int64          `json:"start_us"` // µs since Unix epoch
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Span is one timed unit of work. Start/Child stamp the clock; End emits
+// the event. A span is owned by one goroutine; Attr/End must not race.
+type Span struct {
+	t      *Tracer
+	trace  uint64
+	id     uint64
+	parent uint64 // 0 = root
+	name   string
+	start  time.Time
+	attrs  map[string]any
+}
+
+// Start opens a root span in a fresh trace.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		t:     t,
+		trace: t.traces.Add(1),
+		id:    t.spans.Add(1),
+		name:  name,
+		start: time.Now(),
+	}
+}
+
+// Child opens a sub-span in the same trace.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		t:      s.t,
+		trace:  s.trace,
+		id:     s.t.spans.Add(1),
+		parent: s.id,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// Attr attaches one key=value pair, returning s for chaining.
+func (s *Span) Attr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = value
+	return s
+}
+
+// TraceID returns the span's trace (request) identifier, "" when disabled.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("t%d", s.trace)
+}
+
+// End emits the span's JSONL event.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	ev := spanEvent{
+		Trace:   fmt.Sprintf("t%d", s.trace),
+		Span:    fmt.Sprintf("s%d", s.id),
+		Name:    s.name,
+		StartUS: s.start.UnixMicro(),
+		DurUS:   time.Since(s.start).Microseconds(),
+		Attrs:   s.attrs,
+	}
+	if s.parent != 0 {
+		ev.Parent = fmt.Sprintf("s%d", s.parent)
+	}
+	s.t.w.Emit(ev)
+}

@@ -18,6 +18,8 @@ import (
 	goruntime "runtime"
 	"sync"
 	"sync/atomic"
+
+	"apollo/internal/obs"
 )
 
 // Pool is a set of persistent worker goroutines executing submitted tasks.
@@ -29,6 +31,19 @@ type Pool struct {
 	mu   sync.Mutex // guards resizes
 	size int32      // atomic: total parallel width including the caller
 	bg   int        // background workers currently running (mu)
+
+	// metrics is nil until Instrument wires an obs registry; the hot paths
+	// pay one atomic load + branch per event either way (the obs cost
+	// contract), never a lock.
+	metrics atomic.Pointer[poolMetrics]
+}
+
+// poolMetrics is the pool's observability surface: how much work flows
+// through it and how it fans out.
+type poolMetrics struct {
+	tasks     *obs.Counter   // background/stolen tasks executed
+	forRanges *obs.Counter   // ForRange calls that actually fanned out
+	chunks    *obs.Histogram // chunks per fanned-out ForRange
 }
 
 // NewPool returns a pool with the given parallel width (minimum 1).
@@ -61,12 +76,38 @@ func (p *Pool) Resize(size int) {
 	atomic.StoreInt32(&p.size, int32(size))
 }
 
+// Instrument registers the pool's counters and queue-depth/width gauges
+// into reg and starts counting. Timing-only: instrumentation never changes
+// scheduling, so the kernel determinism contract is untouched. Safe to call
+// while ForRange runs; a nil reg disables counting again.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		p.metrics.Store(nil)
+		return
+	}
+	reg.GaugeFunc("apollo_pool_queue_depth", "Tasks waiting in the pool's queue.",
+		func() float64 { return float64(len(p.tasks)) })
+	reg.GaugeFunc("apollo_pool_workers", "The pool's parallel width (background workers + caller).",
+		func() float64 { return float64(p.Size()) })
+	p.metrics.Store(&poolMetrics{
+		tasks:     reg.Counter("apollo_pool_tasks_total", "Tasks executed by pool workers (including stolen by helping callers)."),
+		forRanges: reg.Counter("apollo_pool_forrange_total", "ForRange calls that fanned out across workers."),
+		chunks:    reg.Histogram("apollo_pool_forrange_chunks", "Chunks per fanned-out ForRange call.", obs.SizeBuckets),
+	})
+}
+
+// InstrumentDefault instruments the shared process-wide pool.
+func InstrumentDefault(reg *obs.Registry) { defaultPool.Instrument(reg) }
+
 func (p *Pool) worker() {
 	for f := range p.tasks {
 		if f == nil {
 			return
 		}
 		f()
+		if m := p.metrics.Load(); m != nil {
+			m.tasks.Inc()
+		}
 	}
 }
 
@@ -94,6 +135,10 @@ func (p *Pool) ForRange(n, minPerTask int, fn func(i0, i1 int)) {
 		return
 	}
 	chunk := (n + w - 1) / w
+	if m := p.metrics.Load(); m != nil {
+		m.forRanges.Inc()
+		m.chunks.Observe(float64((n + chunk - 1) / chunk))
+	}
 	var pending int32
 	panics := make(chan any, 1) // first panic from a submitted chunk
 	for i0 := chunk; i0 < n; i0 += chunk {
@@ -148,6 +193,9 @@ func (p *Pool) ForRange(n, minPerTask int, fn func(i0, i1 int)) {
 				continue
 			}
 			f()
+			if m := p.metrics.Load(); m != nil {
+				m.tasks.Inc()
+			}
 		default:
 			goruntime.Gosched()
 		}

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"apollo/internal/nn"
+	"apollo/internal/obs"
 	"apollo/internal/tensor"
 )
 
@@ -53,6 +55,55 @@ type item struct {
 	score *scoreReq
 	wg    *sync.WaitGroup // completion of the score's submitting call
 	exec  *execReq
+	enq   time.Time // stamped at submit when the batcher is instrumented
+}
+
+// batcherMetrics is the coalescing observability surface shared by every
+// batcher of one registry. Record methods are nil-receiver safe.
+type batcherMetrics struct {
+	queueWait *obs.Histogram
+	batchSize *obs.Histogram
+	forwards  *obs.Counter
+	scored    *obs.Counter
+	execs     *obs.Counter
+}
+
+func newBatcherMetrics(o *obs.Registry) *batcherMetrics {
+	if o == nil {
+		return nil
+	}
+	return &batcherMetrics{
+		queueWait: o.Histogram("apollo_serve_batch_queue_wait_seconds",
+			"Time a queued unit waited for its snapshot executor.", obs.LatencyBuckets),
+		batchSize: o.Histogram("apollo_serve_batch_size",
+			"Scoring sequences coalesced into one batched forward.", obs.SizeBuckets),
+		forwards: o.Counter("apollo_serve_batched_forwards_total", "Batched forward passes run for scoring units."),
+		scored:   o.Counter("apollo_serve_scored_seqs_total", "Scoring units completed."),
+		execs:    o.Counter("apollo_serve_execs_total", "Whole-unit operations (perplexity, finetune) run on snapshot executors."),
+	}
+}
+
+func (m *batcherMetrics) waited(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.queueWait.Observe(d.Seconds())
+}
+
+func (m *batcherMetrics) forward(k int) {
+	if m == nil {
+		return
+	}
+	m.batchSize.Observe(float64(k))
+	m.forwards.Inc()
+	m.scored.Add(int64(k))
+}
+
+func (m *batcherMetrics) exec() {
+	if m == nil {
+		return
+	}
+	m.execs.Inc()
 }
 
 // Stats counts the batcher's coalescing behavior.
@@ -75,6 +126,7 @@ type Stats struct {
 type batcher struct {
 	model    *nn.Model
 	maxBatch int
+	om       *batcherMetrics // nil when uninstrumented (one branch per event)
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -83,8 +135,8 @@ type batcher struct {
 	stats  Stats
 }
 
-func newBatcher(model *nn.Model, maxBatch int) *batcher {
-	b := &batcher{model: model, maxBatch: maxBatch}
+func newBatcher(model *nn.Model, maxBatch int, om *batcherMetrics) *batcher {
+	b := &batcher{model: model, maxBatch: maxBatch, om: om}
 	b.cond = sync.NewCond(&b.mu)
 	go b.loop()
 	return b
@@ -129,6 +181,12 @@ func (b *batcher) exec(fn func(m *nn.Model)) error {
 }
 
 func (b *batcher) submit(items ...item) error {
+	if b.om != nil {
+		now := time.Now()
+		for i := range items {
+			items[i].enq = now
+		}
+	}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -186,6 +244,12 @@ func (b *batcher) loop() {
 // then exec units in arrival order. Results are order-independent — every
 // unit depends only on its own inputs and the immutable weights.
 func (b *batcher) process(batch []item) {
+	if b.om != nil {
+		now := time.Now()
+		for _, it := range batch {
+			b.om.waited(now.Sub(it.enq))
+		}
+	}
 	groups := map[int][]item{}
 	var lens []int
 	for _, it := range batch {
@@ -216,6 +280,7 @@ func (b *batcher) process(batch []item) {
 		b.mu.Lock()
 		b.stats.Execs++
 		b.mu.Unlock()
+		b.om.exec()
 		close(it.exec.done)
 	}
 }
@@ -253,6 +318,7 @@ func (b *batcher) scoreChunk(chunk []item, t int) {
 		b.stats.LargestBatch = int64(k)
 	}
 	b.mu.Unlock()
+	b.om.forward(k)
 }
 
 // safely converts a panic in served work into an error on the query — a

@@ -10,6 +10,7 @@ import (
 
 	"apollo/internal/data"
 	"apollo/internal/memmodel"
+	"apollo/internal/obs"
 	"apollo/internal/optim"
 	"apollo/internal/train"
 )
@@ -33,20 +34,98 @@ type Server struct {
 // NewServer wraps a registry.
 func NewServer(reg *Registry) *Server { return &Server{reg: reg} }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler. Besides the query API it serves
+// the observability surface: GET /metrics (Prometheus text exposition over
+// Config.Metrics), GET /debug/vars (the same registry as JSON, with
+// histogram quantiles), and — when Config.Pprof is set — net/http/pprof
+// under /debug/pprof/. Every API endpoint is wrapped in the metrics/tracing
+// middleware; with neither configured the wrap is the identity.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/models", s.handleModels)
-	mux.HandleFunc("POST /v1/perplexity", s.handlePerplexity)
-	mux.HandleFunc("POST /v1/logprob", s.handleLogProb)
-	mux.HandleFunc("POST /v1/zeroshot", s.handleZeroShot)
-	mux.HandleFunc("POST /v1/finetune", s.handleFineTune)
+	mux.HandleFunc("GET /healthz", s.wrap("/healthz", s.handleHealth))
+	mux.HandleFunc("GET /v1/models", s.wrap("/v1/models", s.handleModels))
+	mux.HandleFunc("POST /v1/perplexity", s.wrap("/v1/perplexity", s.handlePerplexity))
+	mux.HandleFunc("POST /v1/logprob", s.wrap("/v1/logprob", s.handleLogProb))
+	mux.HandleFunc("POST /v1/zeroshot", s.wrap("/v1/zeroshot", s.handleZeroShot))
+	mux.HandleFunc("POST /v1/finetune", s.wrap("/v1/finetune", s.handleFineTune))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	if s.reg.cfg.Pprof {
+		obs.RegisterPprof(mux)
+	}
 	return mux
 }
 
+// wrap is the per-endpoint observability middleware: request counter,
+// error counter (status >= 400), latency histogram, and one trace span per
+// request whose trace ID is echoed as X-Request-Id.
+func (s *Server) wrap(path string, h http.HandlerFunc) http.HandlerFunc {
+	o, tracer := s.reg.cfg.Metrics, s.reg.cfg.Tracer
+	if o == nil && tracer == nil {
+		return h
+	}
+	lbl := obs.Label{Key: "path", Value: path}
+	reqs := o.Counter("apollo_http_requests_total", "HTTP requests served, by endpoint.", lbl)
+	errs := o.Counter("apollo_http_errors_total", "HTTP requests answered with status >= 400, by endpoint.", lbl)
+	lat := o.Histogram("apollo_http_request_seconds", "HTTP request latency, by endpoint.", obs.LatencyBuckets, lbl)
+	return func(w http.ResponseWriter, r *http.Request) {
+		span := tracer.Start("http " + path)
+		if id := span.TraceID(); id != "" {
+			w.Header().Set("X-Request-Id", id)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		lat.Observe(time.Since(start).Seconds())
+		reqs.Inc()
+		if sw.code >= 400 {
+			errs.Inc()
+		}
+		span.Attr("status", sw.code).End()
+	}
+}
+
+// statusWriter captures the response status for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.cfg.Metrics.RenderPrometheus(w)
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.cfg.Metrics.WriteVars(w)
+}
+
+// NewHTTPServer wraps h in an http.Server with production traffic
+// hardening: header/read/idle timeouts bound slow or idle clients, and the
+// write timeout is generous because finetune queries synchronously train a
+// model clone before answering. Callers own Shutdown (see cmd/apollo-serve
+// for the SIGINT/SIGTERM draining wiring).
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // ListenAndServe builds a registry over cfg, preloads the given checkpoint
-// paths, and serves the API on addr until the listener fails.
+// paths, and serves the API on addr until the listener fails. The server
+// carries NewHTTPServer's timeouts; for graceful shutdown build the pieces
+// explicitly and call Shutdown on the returned server.
 func ListenAndServe(addr string, cfg Config, paths []string) error {
 	reg, err := NewRegistry(cfg)
 	if err != nil {
@@ -57,11 +136,17 @@ func ListenAndServe(addr string, cfg Config, paths []string) error {
 			return err
 		}
 	}
-	return http.ListenAndServe(addr, NewServer(reg).Handler())
+	return NewHTTPServer(addr, NewServer(reg).Handler()).ListenAndServe()
 }
 
-// exact renders a float as its shortest round-trip decimal.
-func exact(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+// ExactFloat renders a float as its shortest round-trip decimal — the
+// loss_text/accuracy_text contract shared by the server and the CLIs, so
+// shell clients can compare served results bit-for-bit without a float
+// parser.
+func ExactFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// exact is the package-internal shorthand for ExactFloat.
+func exact(v float64) string { return ExactFloat(v) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	// Marshal before touching the ResponseWriter: an unencodable value must

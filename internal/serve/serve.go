@@ -45,6 +45,7 @@ import (
 	"apollo/internal/ckpt"
 	"apollo/internal/data"
 	"apollo/internal/nn"
+	"apollo/internal/obs"
 	"apollo/internal/tensor"
 	"apollo/internal/train"
 )
@@ -68,6 +69,20 @@ type Config struct {
 	// MaxBatch caps how many scoring sequences coalesce into one batched
 	// forward. Default 8.
 	MaxBatch int
+	// Metrics, when set, receives the service's counters and histograms —
+	// registry cache behavior (hits/loads/hot-reloads/evictions, per-path
+	// generation gauge), batcher coalescing (queue wait, batch size) and
+	// per-endpoint HTTP request counts/latency — rendered at GET /metrics
+	// (Prometheus text exposition) and GET /debug/vars (JSON). Nil disables
+	// instrumentation at one branch per event; results are never affected
+	// either way (timing-only).
+	Metrics *obs.Registry
+	// Tracer, when set, emits one JSONL span per HTTP request (request id,
+	// endpoint, status, duration); the request id is echoed in the
+	// X-Request-Id response header.
+	Tracer *obs.Tracer
+	// Pprof exposes net/http/pprof handlers under /debug/pprof/ when true.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -250,6 +265,9 @@ type Registry struct {
 
 	loads  atomic.Int64
 	evicts atomic.Int64
+
+	om *registryMetrics // nil when Config.Metrics is nil
+	bm *batcherMetrics  // shared by every entry's batcher; nil likewise
 }
 
 // NewRegistry builds a registry for one served architecture.
@@ -257,7 +275,75 @@ func NewRegistry(cfg Config) (*Registry, error) {
 	if err := cfg.Model.Validate(); err != nil {
 		return nil, err
 	}
-	return &Registry{cfg: cfg.withDefaults(), slots: map[string]*slot{}}, nil
+	r := &Registry{cfg: cfg.withDefaults(), slots: map[string]*slot{}}
+	r.om = newRegistryMetrics(r)
+	r.bm = newBatcherMetrics(r.cfg.Metrics)
+	return r, nil
+}
+
+// registryMetrics is the snapshot registry's observability surface. All
+// record methods are nil-receiver safe — the uninstrumented registry pays
+// one branch per event.
+type registryMetrics struct {
+	reg     *obs.Registry
+	hits    *obs.Counter
+	loads   *obs.Counter
+	reloads *obs.Counter
+	evicts  *obs.Counter
+}
+
+func newRegistryMetrics(r *Registry) *registryMetrics {
+	o := r.cfg.Metrics
+	if o == nil {
+		return nil
+	}
+	m := &registryMetrics{
+		reg:     o,
+		hits:    o.Counter("apollo_serve_registry_hits_total", "Acquires answered by the already-resident snapshot."),
+		loads:   o.Counter("apollo_serve_registry_loads_total", "Snapshot loads (initial opens + hot reloads)."),
+		reloads: o.Counter("apollo_serve_registry_hot_reloads_total", "Loads that replaced an older generation of the same checkpoint path."),
+		evicts:  o.Counter("apollo_serve_registry_evictions_total", "Snapshots evicted by the LRU bound."),
+	}
+	o.GaugeFunc("apollo_serve_resident_models", "Snapshots currently resident in the LRU registry.",
+		func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			n := 0
+			for _, s := range r.slots {
+				if s.cur.Load() != nil {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	return m
+}
+
+func (m *registryMetrics) hit() {
+	if m == nil {
+		return
+	}
+	m.hits.Inc()
+}
+
+func (m *registryMetrics) loaded(path string, gen int) {
+	if m == nil {
+		return
+	}
+	m.loads.Inc()
+	if gen > 1 {
+		m.reloads.Inc()
+	}
+	m.reg.Gauge("apollo_serve_snapshot_generation",
+		"Hot-reload generation of each resident snapshot path.",
+		obs.Label{Key: "checkpoint", Value: path}).Set(float64(gen))
+}
+
+func (m *registryMetrics) evicted() {
+	if m == nil {
+		return
+	}
+	m.evicts.Inc()
 }
 
 // Loads returns how many snapshot loads (initial + hot reloads) happened.
@@ -295,6 +381,7 @@ func (r *Registry) Acquire(path string) (*Entry, error) {
 	}
 	if cur := s.cur.Load(); cur != nil && os.SameFile(cur.fi, fi) &&
 		cur.fi.ModTime().Equal(fi.ModTime()) && cur.fi.Size() == fi.Size() {
+		r.om.hit()
 		return cur, nil
 	}
 	e, err := r.load(path, fi)
@@ -304,6 +391,7 @@ func (r *Registry) Acquire(path string) (*Entry, error) {
 	}
 	s.gen++
 	e.Generation = s.gen
+	r.om.loaded(path, s.gen)
 	if old := s.cur.Swap(e); old != nil {
 		old.batcher.close()
 	}
@@ -368,7 +456,7 @@ func (r *Registry) load(path string, fi os.FileInfo) (*Entry, error) {
 		LoadedAt:  time.Now(),
 		fi:        fi,
 		model:     model,
-		batcher:   newBatcher(model, r.cfg.MaxBatch),
+		batcher:   newBatcher(model, r.cfg.MaxBatch, r.bm),
 		corpus:    r.cfg.Corpus,
 	}, nil
 }
@@ -392,6 +480,7 @@ func (r *Registry) evictLocked(keep string) {
 			e.batcher.close()
 		}
 		r.evicts.Add(1)
+		r.om.evicted()
 	}
 }
 

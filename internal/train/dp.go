@@ -26,6 +26,7 @@ import (
 
 	"apollo/internal/data"
 	"apollo/internal/nn"
+	"apollo/internal/obs"
 	"apollo/internal/optim"
 	"apollo/internal/tensor"
 )
@@ -103,13 +104,23 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 	}
 	lossSums := make([]float64, b)
 
+	rec := pcfg.Telemetry
+	// Per-replica forward/backward wall time for the concurrent compute
+	// section; merged into the phase clock after the join, so no atomics.
+	repFwd := make([]time.Duration, replicas)
+	repBwd := make([]time.Duration, replicas)
+
 	var series []Metric
 	for step := pcfg.StartStep; step < pcfg.Steps; step++ {
+		pc := phaseClock{on: rec != nil}
+		pc.begin()
+		stepStart := pc.mark
 		if pcfg.Schedule != nil {
 			opt.SetLR(pcfg.Schedule.At(step))
 		}
 		batch := corpus.NextTrainBatch(b, t)
 		counted := nn.CountTargets(batch.Targets, -1)
+		pc.lap(obs.PhaseData)
 
 		// Broadcast master weights to every replica (the DDP sync point).
 		// Under ZeRO this already happened through the post-step shard
@@ -122,6 +133,7 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 			}
 			broadcastBytes += int64(replicas) * paramBytes
 		}
+		pc.lap(obs.PhaseBroadcast)
 
 		// A batch with no non-ignored targets has zero loss and zero
 		// gradient (the fused CrossEntropy convention); skip the shard
@@ -136,25 +148,48 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 		}
 
 		// Concurrent sharded forward/backward: replica r owns the
-		// contiguous sequence range [r·B/N, (r+1)·B/N).
+		// contiguous sequence range [r·B/N, (r+1)·B/N). With telemetry on,
+		// each replica times its own forward/backward halves — the split
+		// calls are LossShard spelled out, so the bits are unchanged — and
+		// the main goroutine merges them after the join.
 		var wg sync.WaitGroup
 		for r := 0; r < replicas && counted > 0; r++ {
 			lo, hi := r*b/replicas, (r+1)*b/replicas
 			wg.Add(1)
-			go func(rep *dpReplica, lo, hi int) {
+			go func(rep *dpReplica, lo, hi, r int) {
 				defer wg.Done()
+				var fwd, bwd time.Duration
 				for s := lo; s < hi; s++ {
 					rep.model.Params().ZeroGrad()
 					toks := batch.Tokens[s*t : (s+1)*t]
 					tgts := batch.Targets[s*t : (s+1)*t]
-					lossSums[s] = rep.model.LossShard(toks, tgts, 1, t, counted)
+					if pc.on {
+						t0 := time.Now()
+						logits := rep.model.Forward(toks, 1, t)
+						t1 := time.Now()
+						fwd += t1.Sub(t0)
+						sum, dlogits := nn.CrossEntropyShard(logits, tgts, -1, counted)
+						rep.model.Backward(dlogits)
+						bwd += time.Since(t1)
+						lossSums[s] = sum
+					} else {
+						lossSums[s] = rep.model.LossShard(toks, tgts, 1, t, counted)
+					}
 					for i, p := range rep.params {
 						leaves[s][i].CopyFrom(p.Grad)
 					}
 				}
-			}(reps[r], lo, hi)
+				repFwd[r], repBwd[r] = fwd, bwd
+			}(reps[r], lo, hi, r)
 		}
 		wg.Wait()
+		if pc.on {
+			for r := 0; r < replicas; r++ {
+				pc.d[obs.PhaseForward] += repFwd[r]
+				pc.d[obs.PhaseBackward] += repBwd[r]
+			}
+			pc.skip() // section wall time is carried by the replica sums
+		}
 
 		// All-reduce: balanced binary tree over leaf indices. The pairing
 		// depends only on B, so the float32 sums are replica-count
@@ -175,6 +210,11 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 		if counted > 0 {
 			loss = lossSums[0] / float64(counted)
 		}
+		pc.lap(obs.PhaseAllReduce)
+		var gradNorm float64
+		if rec != nil {
+			gradNorm = model.Params().GradNorm()
+		}
 
 		if pcfg.ClipNorm > 0 {
 			model.Params().ClipGradNorm(pcfg.ClipNorm)
@@ -191,17 +231,21 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 				}(s)
 			}
 			sg.Wait()
+			pc.lap(obs.PhaseStep)
 			// ZeRO phase 2: binomial-tree broadcast of each updated shard
 			// from its owner to the other replicas.
 			broadcastBytes += broadcastShards(reps, master, sharder, replicas)
+			pc.lap(obs.PhaseBroadcast)
 		} else {
 			opt.Step(master)
+			pc.lap(obs.PhaseStep)
 		}
 		// Checkpoint after the optimizer step (and, under ZeRO, after the
 		// broadcast): master weights are current and a Sharded optimizer
 		// gathers its shard-owned state into the canonical layout, so the
 		// snapshot resumes under any world size.
 		maybeCheckpoint(pcfg, step, master, opt, corpus)
+		pc.lap(obs.PhaseCheckpoint)
 
 		if pcfg.EvalEvery > 0 && (step+1)%pcfg.EvalEvery == 0 {
 			val := Validate(model, corpus, pcfg.EvalBatches, b, t)
@@ -211,6 +255,10 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 			})
 			pcfg.Logf("[%s x%d] step %d/%d train %.4f val ppl %.2f",
 				opt.Name(), replicas, step+1, pcfg.Steps, loss, math.Exp(val))
+		}
+		pc.lap(obs.PhaseEval)
+		if rec != nil {
+			rec.RecordStep(step+1, loss, gradNorm, opt.LR(), time.Since(stepStart), pc.d)
 		}
 	}
 	final := Validate(model, corpus, pcfg.EvalBatches, b, t)
@@ -226,7 +274,7 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 			perReplica[i] = opt.StateBytes() // plain DP replicates full state
 		}
 	}
-	return Result{
+	res := Result{
 		Optimizer:         opt.Name(),
 		Series:            series,
 		FinalValPPL:       math.Exp(final),
@@ -237,6 +285,8 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 		AllReduceBytes:    allReduceBytes,
 		BroadcastBytes:    broadcastBytes,
 	}
+	summarizeTelemetry(&res, rec)
+	return res
 }
 
 // broadcastShards distributes each shard's freshly stepped master weights

@@ -1,0 +1,171 @@
+package train
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"apollo/internal/nn"
+	"apollo/internal/obs"
+	"apollo/internal/optim"
+	"apollo/internal/zero"
+)
+
+// TestTelemetryParityFused is the telemetry half of the determinism
+// contract: a fused run with a TrainRecorder attached is bit-identical to
+// one without — the instrumentation is timing-only.
+func TestTelemetryParityFused(t *testing.T) {
+	const seed = 11
+	refModel, refOpt, refCorpus := dpTestSetup(t, seed)
+	cfg := PretrainConfig{Batch: 6, Seq: 16, Steps: 6, EvalEvery: 3, EvalBatches: 2, ClipNorm: 1.0}
+	ref := Pretrain(refModel, refOpt, refCorpus, cfg)
+
+	var b strings.Builder
+	telModel, telOpt, telCorpus := dpTestSetup(t, seed)
+	cfgTel := cfg
+	cfgTel.Telemetry = obs.NewTrainRecorder(&b)
+	got := Pretrain(telModel, telOpt, telCorpus, cfgTel)
+
+	if len(got.Series) != len(ref.Series) {
+		t.Fatalf("series length %d != %d", len(got.Series), len(ref.Series))
+	}
+	for i := range ref.Series {
+		if got.Series[i] != ref.Series[i] {
+			t.Fatalf("metric %d differs with telemetry:\n  got  %+v\n  want %+v", i, got.Series[i], ref.Series[i])
+		}
+	}
+	if got.FinalValPPL != ref.FinalValPPL {
+		t.Fatalf("final ppl %v != %v with telemetry", got.FinalValPPL, ref.FinalValPPL)
+	}
+	refParams := refModel.Params().List()
+	for i, p := range telModel.Params().List() {
+		if !p.W.Equal(refParams[i].W) {
+			t.Fatalf("weight %s differs bitwise with telemetry enabled", p.Name)
+		}
+	}
+}
+
+// TestTelemetryParityDPZero repeats the parity check on the hardest path:
+// data-parallel with ZeRO-sharded optimizer states, where the phase timing
+// wraps the concurrent replica workers.
+func TestTelemetryParityDPZero(t *testing.T) {
+	const seed = 42
+	ref, refModel := zeroRun(t, 3, seed, nil)
+	var b strings.Builder
+	got, gotModel := zeroRun(t, 3, seed, obs.NewTrainRecorder(&b))
+
+	for i := range ref.Series {
+		if got.Series[i] != ref.Series[i] {
+			t.Fatalf("metric %d differs with telemetry:\n  got  %+v\n  want %+v", i, got.Series[i], ref.Series[i])
+		}
+	}
+	if got.FinalValPPL != ref.FinalValPPL {
+		t.Fatalf("final ppl %v != %v with telemetry", got.FinalValPPL, ref.FinalValPPL)
+	}
+	refParams := refModel.Params().List()
+	for i, p := range gotModel.Params().List() {
+		if !p.W.Equal(refParams[i].W) {
+			t.Fatalf("weight %s differs bitwise with telemetry enabled", p.Name)
+		}
+	}
+	if b.Len() == 0 {
+		t.Fatalf("telemetry stream is empty")
+	}
+}
+
+// zeroRun trains DP+ZeRO with an optional recorder attached.
+func zeroRun(t *testing.T, replicas int, seed uint64, rec *obs.TrainRecorder) (Result, *nn.Model) {
+	t.Helper()
+	model, _, corpus := dpTestSetup(t, seed)
+	opt := zero.NewSharded(func() optim.Optimizer {
+		return optim.NewAdamW(optim.Hyper{LR: 1e-3, WeightDecay: 0.01})
+	}, replicas)
+	cfg := dpTestConfig(replicas)
+	cfg.Telemetry = rec
+	res := DPPretrain(model, opt, corpus, cfg)
+	return res, model
+}
+
+// TestTelemetryStreamAndSummary checks the -telemetry surface end to end on
+// a fused run: the JSONL stream parses, steps are sequential, per-step
+// phases are positive and sum to at most the step's wall time, and the
+// Result summary agrees with the stream.
+func TestTelemetryStreamAndSummary(t *testing.T) {
+	const seed = 5
+	model, opt, corpus := dpTestSetup(t, seed)
+	var b strings.Builder
+	rec := obs.NewTrainRecorder(&b)
+	res := Pretrain(model, opt, corpus, PretrainConfig{
+		Batch: 6, Seq: 16, Steps: 5, EvalEvery: 2, EvalBatches: 2, ClipNorm: 1.0,
+		Telemetry: rec,
+	})
+
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d step events, want 5", len(lines))
+	}
+	var streamWall, streamPhases float64
+	for i, line := range lines {
+		var ev obs.StepEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("step %d not valid JSON: %v\n%s", i, err, line)
+		}
+		if ev.Step != i+1 {
+			t.Fatalf("step %d event carries step=%d", i, ev.Step)
+		}
+		if ev.Loss <= 0 || ev.GradNorm <= 0 || ev.LR <= 0 {
+			t.Fatalf("step %d: non-positive loss/gradnorm/lr: %+v", i, ev)
+		}
+		var phaseSum float64
+		for name, s := range ev.Phases {
+			if s < 0 {
+				t.Fatalf("step %d phase %s negative: %g", i, name, s)
+			}
+			phaseSum += s
+		}
+		// Fused-loop phases partition the step; allow slack for the
+		// unattributed slivers between laps (loop bookkeeping, logging).
+		if phaseSum > ev.WallSeconds*1.05+1e-4 {
+			t.Fatalf("step %d phases sum to %g > wall %g", i, phaseSum, ev.WallSeconds)
+		}
+		for _, must := range []string{"data", "forward", "backward", "step"} {
+			if ev.Phases[must] <= 0 {
+				t.Fatalf("step %d missing phase %q: %v", i, must, ev.Phases)
+			}
+		}
+		streamWall += ev.WallSeconds
+		streamPhases += phaseSum
+	}
+
+	if res.PhaseSeconds == nil {
+		t.Fatalf("Result.PhaseSeconds not populated")
+	}
+	if res.StepWallSeconds <= 0 {
+		t.Fatalf("Result.StepWallSeconds = %g", res.StepWallSeconds)
+	}
+	if d := res.StepWallSeconds - streamWall; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("summary wall %g != streamed wall %g", res.StepWallSeconds, streamWall)
+	}
+	var summaryPhases float64
+	for _, s := range res.PhaseSeconds {
+		summaryPhases += s
+	}
+	if d := summaryPhases - streamPhases; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("summary phases %g != streamed phases %g", summaryPhases, streamPhases)
+	}
+	// The tracked phases must account for the bulk of the stepped wall time
+	// (forward/backward dominate; slack covers scheduler noise on tiny models).
+	if summaryPhases < 0.5*res.StepWallSeconds {
+		t.Fatalf("phases cover only %g of %g wall seconds", summaryPhases, res.StepWallSeconds)
+	}
+}
+
+// TestTelemetryDisabledLeavesResultUntouched pins the default: no recorder,
+// no PhaseSeconds.
+func TestTelemetryDisabledLeavesResultUntouched(t *testing.T) {
+	model, opt, corpus := dpTestSetup(t, 3)
+	res := Pretrain(model, opt, corpus, PretrainConfig{Batch: 4, Seq: 8, Steps: 2, EvalBatches: 1})
+	if res.PhaseSeconds != nil || res.StepWallSeconds != 0 {
+		t.Fatalf("untelemetered run populated telemetry fields: %+v %v", res.PhaseSeconds, res.StepWallSeconds)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"apollo/internal/ckpt"
 	"apollo/internal/data"
 	"apollo/internal/nn"
+	"apollo/internal/obs"
 	"apollo/internal/optim"
 )
 
@@ -45,6 +46,17 @@ type Result struct {
 	// the whole run: master→replica sync copies in plain DP, the per-shard
 	// binomial-tree broadcast under ZeRO ((N−1)·P·4 per step).
 	BroadcastBytes int64
+	// PhaseSeconds breaks the run's per-step wall time down by phase
+	// (obs.Phase names: data, forward, backward, allreduce, step, broadcast,
+	// checkpoint, eval). Nil unless PretrainConfig.Telemetry was set. The
+	// fused loop's phases partition each step's wall time exactly; the DP
+	// loop's forward/backward are summed across concurrently running
+	// replicas and can exceed it.
+	PhaseSeconds map[string]float64
+	// StepWallSeconds is the wall time spent inside training steps (the sum
+	// RecordStep saw), excluding the final out-of-loop validation. Zero
+	// unless PretrainConfig.Telemetry was set.
+	StepWallSeconds float64
 }
 
 // PretrainConfig controls a pre-training run.
@@ -82,6 +94,12 @@ type PretrainConfig struct {
 	// running to Steps is bit-identical to an uninterrupted run
 	// (TestCheckpointResumeParity).
 	StartStep int
+	// Telemetry, when non-nil, records one obs.StepEvent per step — loss,
+	// gradient norm, and a wall-time breakdown by phase — and fills
+	// Result.PhaseSeconds. Timing-only: a telemetry run is bit-identical to
+	// an untelemetered one (TestTelemetryParity); disabled it costs one
+	// branch per phase boundary.
+	Telemetry *obs.TrainRecorder
 	// Quiet suppresses progress output.
 	Logf func(format string, args ...any)
 }
@@ -115,23 +133,34 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 		accum--
 	}
 
+	rec := cfg.Telemetry
 	for step := cfg.StartStep; step < cfg.Steps; step++ {
+		pc := phaseClock{on: rec != nil}
+		pc.begin()
+		stepStart := pc.mark
 		if cfg.Schedule != nil {
 			opt.SetLR(cfg.Schedule.At(step))
 		}
 		batch := corpus.NextTrainBatch(cfg.Batch, cfg.Seq)
+		pc.lap(obs.PhaseData)
 		params.ZeroGrad()
 		var loss float64
 		if accum == 1 {
-			loss = model.Loss(batch.Tokens, batch.Targets, batch.B, batch.T)
+			loss = lossPhased(model, batch, &pc)
 		} else {
-			loss = lossAccum(model, batch, accum)
+			loss = lossAccum(model, batch, accum, &pc)
+		}
+		var gradNorm float64
+		if rec != nil {
+			gradNorm = params.GradNorm()
 		}
 		if cfg.ClipNorm > 0 {
 			params.ClipGradNorm(cfg.ClipNorm)
 		}
 		opt.Step(params.List())
+		pc.lap(obs.PhaseStep)
 		maybeCheckpoint(cfg, step, params.List(), opt, corpus)
+		pc.lap(obs.PhaseCheckpoint)
 
 		if cfg.EvalEvery > 0 && (step+1)%cfg.EvalEvery == 0 {
 			val := Validate(model, corpus, cfg.EvalBatches, cfg.Batch, cfg.Seq)
@@ -141,12 +170,16 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 			})
 			cfg.Logf("[%s] step %d/%d train %.4f val ppl %.2f", opt.Name(), step+1, cfg.Steps, loss, math.Exp(val))
 		}
+		pc.lap(obs.PhaseEval)
+		if rec != nil {
+			rec.RecordStep(step+1, loss, gradNorm, opt.LR(), time.Since(stepStart), pc.d)
+		}
 	}
 	final := Validate(model, corpus, cfg.EvalBatches, cfg.Batch, cfg.Seq)
 	series = append(series, Metric{
 		Step: cfg.Steps, ValLoss: final, ValPPL: math.Exp(final), LR: opt.LR(),
 	})
-	return Result{
+	res := Result{
 		Optimizer:   opt.Name(),
 		Series:      series,
 		FinalValPPL: math.Exp(final),
@@ -154,6 +187,65 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 		WallSeconds: time.Since(start).Seconds(),
 		Steps:       cfg.Steps,
 	}
+	summarizeTelemetry(&res, rec)
+	return res
+}
+
+// summarizeTelemetry folds a recorder's totals into the result.
+func summarizeTelemetry(res *Result, rec *obs.TrainRecorder) {
+	if rec == nil {
+		return
+	}
+	_, wall, phases := rec.Summary()
+	res.PhaseSeconds = phases
+	res.StepWallSeconds = wall
+}
+
+// phaseClock splits a step's wall time across obs.Phase slots: begin stamps
+// the clock, each lap charges the time since the previous boundary to one
+// phase. The zero clock (on=false) makes every call a single branch — the
+// obs cost contract for untelemetered runs.
+type phaseClock struct {
+	on   bool
+	mark time.Time
+	d    [obs.NumPhases]time.Duration
+}
+
+func (pc *phaseClock) begin() {
+	if pc.on {
+		pc.mark = time.Now()
+	}
+}
+
+func (pc *phaseClock) lap(p obs.Phase) {
+	if !pc.on {
+		return
+	}
+	now := time.Now()
+	pc.d[p] += now.Sub(pc.mark)
+	pc.mark = now
+}
+
+// skip resets the clock without charging any phase — used by the DP loop
+// around its concurrent compute section, whose wall time is represented by
+// the per-replica forward/backward sums instead.
+func (pc *phaseClock) skip() {
+	if pc.on {
+		pc.mark = time.Now()
+	}
+}
+
+// lossPhased is model.Loss with phase laps at the forward/backward
+// boundary — the identical calls in the identical order, so a telemetry
+// run stays bit-for-bit the untelemetered run. Cross-entropy is charged to
+// the backward phase (it produces the gradient seed).
+func lossPhased(model *nn.Model, batch data.Batch, pc *phaseClock) float64 {
+	logits := model.Forward(batch.Tokens, batch.B, batch.T)
+	pc.lap(obs.PhaseForward)
+	loss, dlogits := nn.CrossEntropy(logits, batch.Targets, -1)
+	model.Backward(dlogits)
+	pc.lap(obs.PhaseBackward)
+	return loss
 }
 
 // maybeCheckpoint writes a periodic snapshot after step completed (the
@@ -179,8 +271,10 @@ func maybeCheckpoint(cfg PretrainConfig, step int, params []*nn.Param, opt optim
 // accumulating gradients and normalizing by the batch's global non-ignored
 // target count so the accumulated gradient equals the fused full-batch
 // gradient (same math; float32 summation order differs). Only one
-// micro-batch of activations is resident at a time.
-func lossAccum(model *nn.Model, batch data.Batch, accum int) float64 {
+// micro-batch of activations is resident at a time. The micro-batch body is
+// model.LossShard spelled out so phase laps land at the forward/backward
+// boundary — identical calls, identical bits.
+func lossAccum(model *nn.Model, batch data.Batch, accum int, pc *phaseClock) float64 {
 	counted := nn.CountTargets(batch.Targets, -1)
 	if counted == 0 {
 		// The fused CrossEntropy convention: no targets → zero loss and
@@ -192,7 +286,12 @@ func lossAccum(model *nn.Model, batch data.Batch, accum int) float64 {
 	var sum float64
 	for a := 0; a < accum; a++ {
 		lo, hi := a*span, (a+1)*span
-		sum += model.LossShard(batch.Tokens[lo:hi], batch.Targets[lo:hi], micro, batch.T, counted)
+		logits := model.Forward(batch.Tokens[lo:hi], micro, batch.T)
+		pc.lap(obs.PhaseForward)
+		s, dlogits := nn.CrossEntropyShard(logits, batch.Targets[lo:hi], -1, counted)
+		model.Backward(dlogits)
+		pc.lap(obs.PhaseBackward)
+		sum += s
 	}
 	return sum / float64(counted)
 }
