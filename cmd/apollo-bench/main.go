@@ -35,6 +35,7 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 		jobs    = flag.Int("jobs", 1, "experiments to run concurrently")
 		workers = flag.Int("workers", 0, "tensor worker pool size (0 = GOMAXPROCS)")
+		runs    = flag.String("runs", "runs", "run-ledger root for pretrain-family training runs (empty disables; see apollo-runs)")
 	)
 	flag.Parse()
 
@@ -73,14 +74,14 @@ func main() {
 	}
 
 	if *jobs > 1 && len(targets) > 1 {
-		runConcurrent(targets, *jobs, sc, *seed)
+		runConcurrent(targets, *jobs, bench.RunContext{Scale: sc, Seed: *seed, RunRoot: *runs})
 		return
 	}
 
 	for _, e := range targets {
 		fmt.Printf("==== %s (%s) — %s ====\n", e.ID, e.PaperRef, e.Title)
 		start := time.Now()
-		ctx := &bench.RunContext{Scale: sc, Out: os.Stdout, Seed: *seed}
+		ctx := &bench.RunContext{Scale: sc, Out: os.Stdout, Seed: *seed, RunRoot: *runs}
 		if err := e.Run(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
@@ -91,11 +92,11 @@ func main() {
 
 // runConcurrent fans the experiments out over the scheduler and prints each
 // captured report in registry order.
-func runConcurrent(targets []bench.Experiment, jobs int, sc bench.Scale, seed uint64) {
+func runConcurrent(targets []bench.Experiment, jobs int, base bench.RunContext) {
 	fmt.Printf("running %d experiments with %d jobs, %d tensor workers\n\n",
 		len(targets), jobs, rt.Workers())
 	start := time.Now()
-	reports := bench.RunConcurrent(targets, jobs, sc, seed)
+	reports := bench.RunConcurrentCtx(targets, jobs, base)
 	failed := 0
 	for _, r := range reports {
 		fmt.Printf("==== %s — %s ====\n", r.ID, r.Title)

@@ -28,17 +28,34 @@
 // `-replicas 4 -zero`, plain DP, or the fused loop, reproducing the
 // uninterrupted run float-for-float (see internal/train's
 // TestCheckpointResumeParity / TestElasticReshardParity).
+//
+// Every run also leaves a ledger entry under -runs DIR (default "runs";
+// empty disables): runs/<id>/manifest.json records the full configuration,
+// host, and outcome; steps.jsonl holds the per-step series; alerts.jsonl
+// any training-health alerts. The manifest is finalized even when the run
+// fails, panics, or is interrupted, so the ledger never lies about what
+// happened. A training-health watchdog rides along: NaN/Inf loss or
+// gradient norm, loss spikes above -spike-factor × the trailing-window
+// median, and stalled steps all raise alerts; -halt-on-divergence
+// additionally aborts the run at the offending step (exit code 3). The
+// ledger and watchdog only observe values the loop already computes —
+// results are bit-identical with or without them. Inspect entries with
+// the apollo-runs command (list/show/diff/gc/watch).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"apollo/internal/bench"
 	"apollo/internal/ckpt"
 	"apollo/internal/obs"
+	"apollo/internal/obs/runlog"
 	"apollo/internal/optim"
 	rt "apollo/internal/runtime"
 	"apollo/internal/train"
@@ -63,16 +80,35 @@ func main() {
 		ckptEach = flag.Int("ckpt-every", 0, "steps between periodic checkpoint saves (0 = only final)")
 		resume   = flag.String("resume", "", "checkpoint file to resume from")
 		telem    = flag.String("telemetry", "", "stream per-step phase timings as JSONL to this file (timing only; never changes results)")
+		runsRoot = flag.String("runs", "runs", "run-ledger root directory (empty disables the ledger)")
+		runID    = flag.String("run-id", "", "ledger entry name (default: minted from timestamp+size+optimizer)")
+		haltDiv  = flag.Bool("halt-on-divergence", false, "abort the run when the watchdog sees NaN/Inf or a loss spike (exit 3)")
+		spikeF   = flag.Float64("spike-factor", 0, "watchdog: alert when loss exceeds this × trailing median (0 = default 3)")
+		wdWindow = flag.Int("watchdog-window", 0, "watchdog: trailing median window in steps (0 = default 32)")
 	)
 	flag.Parse()
 
-	if *zeroOpt && *replicas < 1 {
-		fmt.Fprintln(os.Stderr, "-zero requires -replicas N with N ≥ 1")
+	// The ledger entry for this run. Created after flag validation; every
+	// exit path below finalizes it (Finalize is idempotent and nil-safe) so
+	// failed, panicked, and interrupted runs still leave honest manifests.
+	var ledger *runlog.Run
+	fail := func(v ...any) {
+		fmt.Fprintln(os.Stderr, v...)
+		ledger.Finalize(runlog.StatusFailed, runlog.Final{Error: strings.TrimSpace(fmt.Sprintln(v...))})
 		os.Exit(1)
 	}
+	defer func() {
+		if p := recover(); p != nil {
+			ledger.Finalize(runlog.StatusPanic, runlog.Final{Error: fmt.Sprint(p)})
+			panic(p)
+		}
+	}()
+
+	if *zeroOpt && *replicas < 1 {
+		fail("-zero requires -replicas N with N ≥ 1")
+	}
 	if *ckptEach > 0 && *save == "" {
-		fmt.Fprintln(os.Stderr, "-ckpt-every requires -save PATH")
-		os.Exit(1)
+		fail("-ckpt-every requires -save PATH")
 	}
 
 	if *workers > 0 {
@@ -81,8 +117,7 @@ func main() {
 
 	proxy, err := bench.ProxyByName(*size)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *steps > 0 {
 		proxy.Steps = *steps
@@ -103,43 +138,69 @@ func main() {
 
 	opt, err := bench.BuildOptimizer(*method, proxy.LR, r, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *zeroOpt {
 		opt = zero.NewSharded(func() optim.Optimizer {
 			o, err := bench.BuildOptimizer(*method, proxy.LR, r, *seed)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fail(err)
 			}
 			return o
 		}, *replicas)
 	}
 	corpus, err := bench.NewCorpus(*seed + 17)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	model := proxy.NewProxyModel(*seed + 33)
 	fmt.Printf("pretraining proxy-%s (%d params) with %s, rank %d, lr %g, %d steps, %d workers\n",
 		proxy.Name, model.Params().NumParams(), opt.Name(), r, proxy.LR, proxy.Steps, rt.Workers())
 
+	if *runsRoot != "" {
+		id := *runID
+		if id == "" {
+			id = runlog.NewID(proxy.Name, opt.Name())
+		}
+		ledger, err = runlog.Create(*runsRoot, runlog.Manifest{
+			ID:      id,
+			Command: "apollo-pretrain",
+			Config: map[string]any{
+				"size": proxy.Name, "steps": proxy.Steps, "batch": proxy.Batch,
+				"seq": proxy.Seq, "rank": r, "lr": proxy.LR,
+				"accum": *accum, "workers": rt.Workers(),
+				"save": *save, "ckpt_every": *ckptEach, "resume": *resume,
+			},
+			Optimizer: opt.Name(),
+			Seed:      *seed,
+			Replicas:  *replicas,
+			ZeRO:      *zeroOpt,
+		})
+		if err != nil {
+			fail("run ledger:", err)
+		}
+		fmt.Printf("run ledger: %s\n", ledger.Dir())
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sigc
+			ledger.Finalize(runlog.StatusInterrupted, runlog.Final{Error: "signal: " + s.String()})
+			os.Exit(130)
+		}()
+	}
+
 	startStep := 0
 	if *resume != "" {
 		st, err := ckpt.LoadFile(*resume)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := ckpt.Restore(st, model.Params().List(), opt, corpus); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		startStep = st.Step
 		if startStep >= proxy.Steps {
-			fmt.Fprintf(os.Stderr, "checkpoint is at step %d, run ends at %d — nothing to do\n", startStep, proxy.Steps)
-			os.Exit(1)
+			fail(fmt.Sprintf("checkpoint is at step %d, run ends at %d — nothing to do", startStep, proxy.Steps))
 		}
 		fmt.Printf("resumed %s from %s at step %d/%d\n", st.Optimizer, *resume, startStep, proxy.Steps)
 	}
@@ -155,16 +216,41 @@ func main() {
 			fmt.Printf(format+"\n", args...)
 		},
 	}
+	// Step events go to the ledger, the -telemetry file, or both; the
+	// watchdog rides along whenever a ledger exists or halting is requested.
+	var stepSinks []io.Writer
+	if ledger != nil {
+		stepSinks = append(stepSinks, ledger.StepsWriter())
+	}
 	if *telem != "" {
 		f, err := os.Create(*telem)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
-		pcfg.Telemetry = obs.NewTrainRecorder(f)
+		stepSinks = append(stepSinks, f)
 		fmt.Printf("telemetry: per-step phase timings → %s\n", *telem)
 	}
+	switch len(stepSinks) {
+	case 0:
+	case 1:
+		pcfg.Telemetry = obs.NewTrainRecorder(stepSinks[0])
+	default:
+		pcfg.Telemetry = obs.NewTrainRecorder(io.MultiWriter(stepSinks...))
+	}
+	if ledger != nil || *haltDiv {
+		pcfg.Watchdog = runlog.NewWatchdog(runlog.WatchdogConfig{
+			Window:      *wdWindow,
+			SpikeFactor: *spikeF,
+			Halt:        *haltDiv,
+			Emit: func(ev runlog.AlertEvent) {
+				fmt.Fprintf(os.Stderr, "watchdog: step %d: %s (loss %g, median %g)\n",
+					ev.Step, ev.Kind, ev.Loss, ev.Median)
+				ledger.Alert(ev)
+			},
+		})
+	}
+
 	var res train.Result
 	if *replicas > 0 {
 		mode := "data-parallel"
@@ -179,6 +265,23 @@ func main() {
 		}
 		res = train.Pretrain(model, opt, corpus, pcfg)
 	}
+
+	fin := runlog.Final{
+		Steps:           res.Steps,
+		FinalPPL:        res.FinalValPPL,
+		StepWallSeconds: res.StepWallSeconds,
+		PhaseSeconds:    res.PhaseSeconds,
+	}
+	if n := len(res.Series); n > 0 {
+		fin.FinalLoss = res.Series[n-1].ValLoss
+	}
+	if res.Halted {
+		fin.Error = fmt.Sprintf("watchdog halt at step %d: %s", res.HaltStep, res.HaltReason)
+		ledger.Finalize(runlog.StatusHalted, fin)
+		fmt.Fprintf(os.Stderr, "halted: %s\n", fin.Error)
+		os.Exit(3)
+	}
+
 	// The periodic path already wrote this exact snapshot when the last
 	// step hit the -ckpt-every boundary; skip the redundant capture+write.
 	finalAlreadySaved := *ckptEach > 0 && proxy.Steps%*ckptEach == 0
@@ -188,11 +291,11 @@ func main() {
 			err = ckpt.SaveFile(*save, st)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "final checkpoint:", err)
-			os.Exit(1)
+			fail("final checkpoint:", err)
 		}
 		fmt.Printf("final checkpoint → %s\n", *save)
 	}
+	ledger.Finalize(runlog.StatusOK, fin)
 	fmt.Printf("\nfinal: %s\n", res.String())
 	if res.PhaseSeconds != nil {
 		fmt.Printf("phase breakdown over %s of stepped wall time:\n",

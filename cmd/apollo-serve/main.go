@@ -101,6 +101,7 @@ func main() {
 
 	metrics := obs.NewRegistry()
 	rt.InstrumentDefault(metrics)
+	obs.InstrumentWriteErrors(metrics)
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -130,8 +131,10 @@ func main() {
 	}
 
 	// Serve until the listener fails or a SIGINT/SIGTERM arrives; on signal,
-	// stop accepting and drain in-flight queries before exiting.
-	srv := serve.NewHTTPServer(*addr, serve.NewServer(reg).Handler())
+	// flip /readyz to 503 so load balancers stop routing here, then stop
+	// accepting and drain in-flight queries before exiting.
+	api := serve.NewServer(reg)
+	srv := serve.NewHTTPServer(*addr, api.Handler())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -141,6 +144,7 @@ func main() {
 		fail(err)
 	case <-ctx.Done():
 		stop()
+		api.SetDraining(true)
 		fmt.Println("apollo-serve: shutdown signal, draining in-flight queries")
 		drain, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"apollo/internal/obs/runlog"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -145,5 +147,44 @@ func TestStepsScaling(t *testing.T) {
 	}
 	if got := full.steps(400); got != 400 {
 		t.Fatalf("full steps = %d want 400", got)
+	}
+}
+
+// TestPretrainOneWritesLedger: with a RunRoot configured, the shared
+// pretraining helper leaves a complete, finalized ledger entry — and the
+// real 60M training curve raises no watchdog alerts (false-positive guard
+// at bench scale).
+func TestPretrainOneWritesLedger(t *testing.T) {
+	proxy, err := ProxyByName("60M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	ctx := &RunContext{Scale: Quick, Out: &bytes.Buffer{}, Seed: 1, RunRoot: root}
+	const steps = 30
+	res, err := pretrainOne(ctx, proxy, "APOLLO", 0, steps, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := runlog.List(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("%d ledger entries, want 1", len(ms))
+	}
+	m := ms[0]
+	if m.Status != runlog.StatusOK || m.Command != "apollo-bench" || m.Optimizer != "APOLLO" {
+		t.Fatalf("manifest wrong: %+v", m)
+	}
+	if m.Steps != steps || m.Alerts != 0 || m.FinalPPL != res.FinalValPPL {
+		t.Fatalf("finals wrong: %+v", m)
+	}
+	rd, err := runlog.Load(root, m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rd.Steps) != steps || rd.Steps[steps-1].Step != steps {
+		t.Fatalf("step series wrong: %d events", len(rd.Steps))
 	}
 }

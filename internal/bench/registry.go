@@ -22,6 +22,11 @@ type RunContext struct {
 	Scale Scale
 	Out   io.Writer
 	Seed  uint64
+	// RunRoot, when set, makes every pretrain-family training run leave a
+	// ledger entry under this directory (see internal/obs/runlog). Empty
+	// disables the ledger — the right setting for unit tests and nested
+	// sweeps that would otherwise spam entries.
+	RunRoot string
 }
 
 // Printf writes to the context's output.

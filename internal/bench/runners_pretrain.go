@@ -7,6 +7,8 @@ import (
 	"apollo/internal/core"
 	"apollo/internal/linalg"
 	"apollo/internal/memmodel"
+	"apollo/internal/obs"
+	"apollo/internal/obs/runlog"
 	"apollo/internal/optim"
 	"apollo/internal/train"
 )
@@ -109,11 +111,48 @@ func pretrainOne(ctx *RunContext, proxy Proxy, method string, rank int, steps in
 	if evalEvery < 1 {
 		evalEvery = 1
 	}
-	res := train.Pretrain(model, opt, corpus, train.PretrainConfig{
+	pcfg := train.PretrainConfig{
 		Batch: proxy.Batch, Seq: seq, Steps: steps,
 		EvalEvery: evalEvery, EvalBatches: 4,
 		Schedule: optim.NewWarmupCosine(lr, steps), ClipNorm: clip,
-	})
+	}
+	// With a run root configured, every experiment training run leaves a
+	// ledger entry: step series for apollo-runs diff, watchdog alerts for
+	// post-hoc triage. Observation only — results are bit-identical either
+	// way.
+	var ledger *runlog.Run
+	if ctx.RunRoot != "" {
+		ledger, err = runlog.Create(ctx.RunRoot, runlog.Manifest{
+			ID:      runlog.NewID(proxy.Name, method),
+			Command: "apollo-bench",
+			Config: map[string]any{
+				"size": proxy.Name, "method": method, "rank": rank,
+				"steps": steps, "seq": seq, "lr": lr,
+			},
+			Optimizer: method,
+			Seed:      ctx.Seed,
+		})
+		if err != nil {
+			return train.Result{}, err
+		}
+		pcfg.Telemetry = obs.NewTrainRecorder(ledger.StepsWriter())
+		pcfg.Watchdog = runlog.NewWatchdog(runlog.WatchdogConfig{Emit: ledger.Alert})
+	}
+	res := train.Pretrain(model, opt, corpus, pcfg)
+	if ledger != nil {
+		fin := runlog.Final{
+			Steps: res.Steps, FinalPPL: res.FinalValPPL,
+			StepWallSeconds: res.StepWallSeconds, PhaseSeconds: res.PhaseSeconds,
+		}
+		if n := len(res.Series); n > 0 {
+			fin.FinalLoss = res.Series[n-1].ValLoss
+		}
+		status := runlog.StatusOK
+		if res.Halted {
+			status = runlog.StatusHalted
+		}
+		ledger.Finalize(status, fin)
+	}
 	return res, nil
 }
 

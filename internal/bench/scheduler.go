@@ -25,6 +25,15 @@ type RunReport struct {
 // run on the shared worker pool are deterministic at any parallelism, so a
 // concurrent registry run prints the same numbers as a sequential one.
 func RunConcurrent(exps []Experiment, jobs int, scale Scale, seed uint64) []RunReport {
+	return RunConcurrentCtx(exps, jobs, RunContext{Scale: scale, Seed: seed})
+}
+
+// RunConcurrentCtx is RunConcurrent with a full base context: each runner
+// gets a copy of base with Out replaced by its private capture buffer, so
+// RunRoot (and future options) flow into concurrent runs. The run ledger is
+// already safe under this concurrency — IDs carry a process-local sequence
+// number, so parallel runners never collide on a directory.
+func RunConcurrentCtx(exps []Experiment, jobs int, base RunContext) []RunReport {
 	if jobs < 1 {
 		jobs = 1
 	}
@@ -39,7 +48,9 @@ func RunConcurrent(exps []Experiment, jobs int, scale Scale, seed uint64) []RunR
 			defer func() { <-sem }()
 			var buf bytes.Buffer
 			start := time.Now()
-			err := runCaptured(e, &RunContext{Scale: scale, Out: &buf, Seed: seed})
+			ctx := base
+			ctx.Out = &buf
+			err := runCaptured(e, &ctx)
 			reports[i] = RunReport{
 				ID: e.ID, Title: e.Title, Output: buf.Bytes(),
 				Err: err, Seconds: time.Since(start).Seconds(),

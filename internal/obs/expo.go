@@ -31,6 +31,8 @@ func (r *Registry) RenderPrometheus(w io.Writer) error {
 			switch m := in.(type) {
 			case *Counter:
 				fmt.Fprintf(&b, "%s%s %d\n", fam.name, renderLabels(m.labels), m.Value())
+			case *funcCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", fam.name, renderLabels(m.labels), m.fn())
 			case *Gauge:
 				fmt.Fprintf(&b, "%s%s %s\n", fam.name, renderLabels(m.labels), formatValue(m.Value()))
 			case *funcGauge:
@@ -65,6 +67,8 @@ func (r *Registry) WriteVars(w io.Writer) error {
 				switch m := in.(type) {
 				case *Counter:
 					vars[key] = m.Value()
+				case *funcCounter:
+					vars[key] = m.fn()
 				case *Gauge:
 					vars[key] = m.Value()
 				case *funcGauge:

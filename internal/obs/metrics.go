@@ -114,6 +114,23 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	return c
 }
 
+// CounterFunc registers a counter whose value is read from fn at render
+// time — for monotonic counts something else already tracks (the obs
+// write-error total). fn must be monotonically non-decreasing for the
+// exposition to stay a valid counter. Nil-safe no-op on a nil registry.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, in := r.lookup(name, help, "counter", nil, labels)
+	if in != nil {
+		panic(fmt.Sprintf("obs: counter %q%v already registered", name, labels))
+	}
+	fam.instances = append(fam.instances, &funcCounter{labels: labels, fn: fn})
+}
+
 // Gauge returns the gauge with this name and label set, creating it on
 // first use. Nil-safe.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
@@ -253,6 +270,14 @@ type funcGauge struct {
 }
 
 func (g *funcGauge) labelSet() []Label { return g.labels }
+
+// funcCounter reads a monotonic count from a callback at render time.
+type funcCounter struct {
+	fn     func() int64
+	labels []Label
+}
+
+func (c *funcCounter) labelSet() []Label { return c.labels }
 
 // Histogram counts observations into fixed buckets (upper bounds le[i],
 // plus an implicit +Inf overflow bucket) and tracks sum, count and the

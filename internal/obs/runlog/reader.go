@@ -1,0 +1,167 @@
+package runlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"apollo/internal/obs"
+)
+
+// RunData is one fully loaded ledger entry.
+type RunData struct {
+	Manifest Manifest
+	Steps    []obs.StepEvent
+	Alerts   []AlertEvent
+}
+
+// List reads every run manifest under root, sorted by start time (oldest
+// first). Entries whose manifest is missing or unreadable are skipped — a
+// ledger with one torn directory must not make the whole root unlistable.
+func List(root string) ([]Manifest, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	var out []Manifest
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		m, err := ReadManifest(filepath.Join(root, e.Name()))
+		if err != nil {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// ReadManifest loads one run directory's manifest.
+func ReadManifest(dir string) (Manifest, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("runlog: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return Manifest{}, fmt.Errorf("runlog: %s: %w", dir, err)
+	}
+	if m.Version > ManifestVersion {
+		return Manifest{}, fmt.Errorf("runlog: %s: manifest version %d is newer than this reader (%d)", dir, m.Version, ManifestVersion)
+	}
+	return m, nil
+}
+
+// Load opens runs/<id> under root.
+func Load(root, id string) (*RunData, error) {
+	return LoadDir(filepath.Join(root, id))
+}
+
+// LoadDir loads a run directory wherever it lives — under a runs root or a
+// committed baseline path. Missing step/alert streams load as empty: a
+// manifest-only directory is still a readable run.
+func LoadDir(dir string) (*RunData, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	rd := &RunData{Manifest: m}
+	if err := readJSONL(filepath.Join(dir, StepsFile), func(line []byte) error {
+		var ev obs.StepEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return err
+		}
+		rd.Steps = append(rd.Steps, ev)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("runlog: %s: %w", dir, err)
+	}
+	if err := readJSONL(filepath.Join(dir, AlertsFile), func(line []byte) error {
+		var ev AlertEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return err
+		}
+		rd.Alerts = append(rd.Alerts, ev)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("runlog: %s: %w", dir, err)
+	}
+	return rd, nil
+}
+
+// readJSONL streams a JSONL file line-by-line into fn. A missing file is
+// empty; a trailing partial line (live run mid-write) is ignored.
+func readJSONL(path string, fn func([]byte) error) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var last error
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := fn(line); err != nil {
+			// Only fatal if a later complete line follows; a bad final line
+			// is a write in progress.
+			last = err
+			continue
+		}
+		if last != nil {
+			return last
+		}
+	}
+	return sc.Err()
+}
+
+// GC deletes run directories under root beyond the newest keep (by start
+// time) or older than maxAge, returning the removed IDs. keep < 0 disables
+// the count rule; maxAge <= 0 disables the age rule. Runs still marked
+// "running" are spared when younger than a day — live jobs must survive a
+// janitor pass, but a week-old "running" entry is a corpse.
+func GC(root string, keep int, maxAge time.Duration) ([]string, error) {
+	ms, err := List(root)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now().UTC()
+	var removed []string
+	for i, m := range ms {
+		victim := false
+		if keep >= 0 && len(ms)-i > keep {
+			victim = true
+		}
+		if maxAge > 0 && now.Sub(m.Start) > maxAge {
+			victim = true
+		}
+		if !victim {
+			continue
+		}
+		if m.Status == StatusRunning && now.Sub(m.Start) < 24*time.Hour {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(root, m.ID)); err != nil {
+			return removed, fmt.Errorf("runlog: gc %s: %w", m.ID, err)
+		}
+		removed = append(removed, m.ID)
+	}
+	return removed, nil
+}

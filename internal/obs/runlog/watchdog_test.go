@@ -1,0 +1,165 @@
+package runlog
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"apollo/internal/obs"
+)
+
+// feedSteady runs n normal steps through the watchdog.
+func feedSteady(w *Watchdog, n int, loss, wall float64) {
+	for i := 0; i < n; i++ {
+		w.ObserveStep(i+1, loss, 0.5, wall)
+	}
+}
+
+func TestWatchdogNaNLossAlwaysArmed(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Halt: true})
+	// Step 1, cold window: NaN/Inf checks need no warmup.
+	if halt := w.ObserveStep(1, math.NaN(), 0.5, 0.01); !halt {
+		t.Fatal("NaN loss did not halt")
+	}
+	al := w.Alerts()
+	if len(al) != 1 || al[0].Kind != AlertNaNLoss || !al[0].Halt || al[0].Step != 1 {
+		t.Fatalf("alerts: %+v", al)
+	}
+	if !w.Halted() {
+		t.Fatal("Halted() false after halting alert")
+	}
+}
+
+func TestWatchdogInfGradNorm(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{})
+	if halt := w.ObserveStep(1, 2.0, math.Inf(1), 0.01); halt {
+		t.Fatal("halted without Halt configured")
+	}
+	al := w.Alerts()
+	if len(al) != 1 || al[0].Kind != AlertNaNGrad || al[0].Halt {
+		t.Fatalf("alerts: %+v", al)
+	}
+}
+
+func TestWatchdogSpikeAfterWarmup(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Window: 8, Warmup: 4, SpikeFactor: 3, Halt: true})
+	// A spike before warmup must not fire: the window is too cold to trust.
+	if w.ObserveStep(1, 100, 0.5, 0.01) {
+		t.Fatal("spike check armed before warmup")
+	}
+	w = NewWatchdog(WatchdogConfig{Window: 8, Warmup: 4, SpikeFactor: 3, Halt: true})
+	feedSteady(w, 4, 2.0, 0.01)
+	if halt := w.ObserveStep(5, 7.0, 0.5, 0.01); !halt {
+		t.Fatal("3.5x median loss did not alert")
+	}
+	al := w.Alerts()
+	if len(al) != 1 || al[0].Kind != AlertLossSpike {
+		t.Fatalf("alerts: %+v", al)
+	}
+	if al[0].Median != 2.0 || al[0].Factor != 3.5 {
+		t.Fatalf("median/factor wrong: %+v", al[0])
+	}
+}
+
+func TestWatchdogNormalNoiseIsQuiet(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Window: 8, Warmup: 4})
+	// Losses wobbling well inside the spike factor, walls inside the stall
+	// factor: zero alerts.
+	losses := []float64{3.0, 2.9, 3.1, 2.8, 3.3, 2.7, 3.0, 2.95, 3.2, 2.85}
+	walls := []float64{0.010, 0.012, 0.009, 0.011, 0.013, 0.010, 0.015, 0.008, 0.011, 0.010}
+	for i := range losses {
+		if w.ObserveStep(i+1, losses[i], 0.5, walls[i]) {
+			t.Fatalf("halted at step %d", i+1)
+		}
+	}
+	if len(w.Alerts()) != 0 {
+		t.Fatalf("noisy-but-normal run raised %+v", w.Alerts())
+	}
+}
+
+func TestWatchdogStallAlertsButNeverHalts(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Window: 8, Warmup: 4, StallFactor: 10, Halt: true})
+	feedSteady(w, 4, 2.0, 0.01)
+	if halt := w.ObserveStep(5, 2.0, 0.5, 0.5); halt {
+		t.Fatal("stall halted the run")
+	}
+	al := w.Alerts()
+	if len(al) != 1 || al[0].Kind != AlertStall || al[0].Halt {
+		t.Fatalf("alerts: %+v", al)
+	}
+	if w.Halted() {
+		t.Fatal("Halted() true after stall-only alert")
+	}
+}
+
+func TestWatchdogNaNStaysOutOfMedian(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Window: 8, Warmup: 4, SpikeFactor: 3})
+	feedSteady(w, 4, 2.0, 0.01)
+	w.ObserveStep(5, math.NaN(), 0.5, 0.01)
+	// The window median must still be 2.0 (NaN excluded), so a 7.0 loss
+	// remains a detectable spike instead of NaN-poisoning every comparison.
+	w.ObserveStep(6, 7.0, 0.5, 0.01)
+	var kinds []string
+	for _, a := range w.Alerts() {
+		kinds = append(kinds, a.Kind)
+	}
+	if got := strings.Join(kinds, ","); got != "nan_loss,loss_spike" {
+		t.Fatalf("alert kinds %q, want nan_loss,loss_spike", got)
+	}
+}
+
+func TestWatchdogHookLossInjection(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Halt: true})
+	w.HookLoss = func(step int, loss float64) float64 {
+		if step == 3 {
+			return math.NaN()
+		}
+		return loss
+	}
+	for i := 1; i <= 5; i++ {
+		if halt := w.ObserveStep(i, 2.0, 0.5, 0.01); halt {
+			if i != 3 {
+				t.Fatalf("halted at step %d, want 3", i)
+			}
+			return
+		}
+	}
+	t.Fatal("injected NaN never halted")
+}
+
+func TestWatchdogEmitAndMetrics(t *testing.T) {
+	var emitted []AlertEvent
+	reg := obs.NewRegistry()
+	w := NewWatchdog(WatchdogConfig{
+		Emit:    func(ev AlertEvent) { emitted = append(emitted, ev) },
+		Metrics: reg,
+	})
+	w.ObserveStep(1, math.NaN(), 0.5, 0.01)
+	w.ObserveStep(2, math.Inf(1), 0.5, 0.01)
+	if len(emitted) != 2 {
+		t.Fatalf("emit saw %d alerts, want 2", len(emitted))
+	}
+	if emitted[0].UnixUS == 0 {
+		t.Fatal("alert not timestamped")
+	}
+	var b strings.Builder
+	reg.RenderPrometheus(&b)
+	expo := b.String()
+	for _, want := range []string{
+		`apollo_train_alerts_total{kind="nan_loss"} 2`,
+	} {
+		if !strings.Contains(expo, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, expo)
+		}
+	}
+}
+
+func TestNilWatchdogIsFree(t *testing.T) {
+	var w *Watchdog
+	if w.ObserveStep(1, math.NaN(), math.NaN(), -1) {
+		t.Fatal("nil watchdog halted")
+	}
+	if w.Alerts() != nil || w.Halted() {
+		t.Fatal("nil watchdog leaked state")
+	}
+}

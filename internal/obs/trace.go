@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,19 +26,53 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 	return &JSONLWriter{w: w}
 }
 
-// Emit marshals v and appends it as one line.
+// Telemetry write failures must not vanish: most emitters (Span.End,
+// TrainRecorder.RecordStep, the run ledger) have no caller positioned to
+// handle the error, so Emit itself counts every failure into a process-wide
+// counter — exported as apollo_obs_write_errors_total via
+// InstrumentWriteErrors — and logs the first one to stderr.
+var (
+	writeErrors     atomic.Int64
+	writeErrLogOnce sync.Once
+)
+
+// WriteErrors returns how many telemetry JSONL writes have failed in this
+// process.
+func WriteErrors() int64 { return writeErrors.Load() }
+
+func noteWriteError(err error) {
+	writeErrors.Add(1)
+	writeErrLogOnce.Do(func() {
+		log.Printf("obs: telemetry write failed (logged once; see apollo_obs_write_errors_total): %v", err)
+	})
+}
+
+// InstrumentWriteErrors exposes the process-wide telemetry write-failure
+// count on a registry as apollo_obs_write_errors_total. Nil-safe no-op.
+func InstrumentWriteErrors(r *Registry) {
+	r.CounterFunc("apollo_obs_write_errors_total",
+		"Telemetry JSONL writes (spans, step events, ledger entries) that failed.",
+		WriteErrors)
+}
+
+// Emit marshals v and appends it as one line. Failures are returned and
+// counted (WriteErrors) — callers that cannot act on the error may drop it
+// knowing it was recorded.
 func (jw *JSONLWriter) Emit(v any) error {
 	if jw == nil {
 		return nil
 	}
 	blob, err := json.Marshal(v)
 	if err != nil {
+		noteWriteError(err)
 		return err
 	}
 	blob = append(blob, '\n')
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
-	_, err = jw.w.Write(blob)
+	if _, err = jw.w.Write(blob); err != nil {
+		noteWriteError(err)
+	}
 	return err
 }
 

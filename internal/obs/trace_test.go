@@ -132,3 +132,45 @@ func TestTrainRecorderSummary(t *testing.T) {
 		t.Fatalf("nil recorder summary = %d %g %v", s, w, p)
 	}
 }
+
+// failWriter fails every Write after the first n succeed.
+type failWriter struct{ ok int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.ok > 0 {
+		f.ok--
+		return len(p), nil
+	}
+	return 0, errShort
+}
+
+var errShort = &shortErr{}
+
+type shortErr struct{}
+
+func (*shortErr) Error() string { return "disk full" }
+
+// TestWriteErrorsCounted: telemetry write failures are not silently dropped —
+// they land in the process counter and the exported metric, while Emit still
+// surfaces the error to callers who want it.
+func TestWriteErrorsCounted(t *testing.T) {
+	before := WriteErrors()
+	w := NewJSONLWriter(&failWriter{ok: 1})
+	if err := w.Emit(StepEvent{Step: 1}); err != nil {
+		t.Fatalf("first write failed: %v", err)
+	}
+	if err := w.Emit(StepEvent{Step: 2}); err == nil {
+		t.Fatal("failed write returned nil error")
+	}
+	if got := WriteErrors() - before; got != 1 {
+		t.Fatalf("counter moved by %d, want 1", got)
+	}
+
+	reg := NewRegistry()
+	InstrumentWriteErrors(reg)
+	var b strings.Builder
+	reg.RenderPrometheus(&b)
+	if !strings.Contains(b.String(), "apollo_obs_write_errors_total") {
+		t.Fatalf("write-error metric not exported:\n%s", b.String())
+	}
+}

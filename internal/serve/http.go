@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"apollo/internal/data"
@@ -18,6 +19,7 @@ import (
 // Server is the HTTP/JSON surface over a Registry. Endpoints (all JSON):
 //
 //	GET  /healthz        liveness
+//	GET  /readyz         readiness: 503 until a snapshot has loaded, and during drain
 //	GET  /v1/models      resident snapshots (LRU order) with footprints
 //	POST /v1/perplexity  {checkpoint, batches, batch, seq}
 //	POST /v1/logprob     {checkpoint, context, option}
@@ -28,11 +30,18 @@ import (
 // round-trip string (loss_text and friends), so shell clients can compare
 // served results bit-for-bit against offline values without a float parser.
 type Server struct {
-	reg *Registry
+	reg      *Registry
+	draining atomic.Bool
 }
 
 // NewServer wraps a registry.
 func NewServer(reg *Registry) *Server { return &Server{reg: reg} }
+
+// SetDraining flips the readiness state: while draining, GET /readyz
+// answers 503 so load balancers stop routing new traffic, while in-flight
+// requests (and /healthz liveness) keep working. cmd/apollo-serve sets it
+// on SIGINT/SIGTERM before calling http.Server.Shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Handler returns the routed HTTP handler. Besides the query API it serves
 // the observability surface: GET /metrics (Prometheus text exposition over
@@ -43,6 +52,7 @@ func NewServer(reg *Registry) *Server { return &Server{reg: reg} }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.wrap("/healthz", s.handleHealth))
+	mux.HandleFunc("GET /readyz", s.wrap("/readyz", s.handleReady))
 	mux.HandleFunc("GET /v1/models", s.wrap("/v1/models", s.handleModels))
 	mux.HandleFunc("POST /v1/perplexity", s.wrap("/v1/perplexity", s.handlePerplexity))
 	mux.HandleFunc("POST /v1/logprob", s.wrap("/v1/logprob", s.handleLogProb))
@@ -182,6 +192,21 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleReady answers readiness probes: 200 once the registry has loaded at
+// least one snapshot and the server is not draining, 503 otherwise. Distinct
+// from /healthz liveness — a server warming up or draining is alive but must
+// not receive new traffic.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load()
+	loads := s.reg.Loads()
+	ready := loads > 0 && !draining
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ready": ready, "loads": loads, "draining": draining})
 }
 
 type modelInfo struct {

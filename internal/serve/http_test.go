@@ -207,3 +207,57 @@ func TestHTTPErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPReadiness walks /readyz through its lifecycle: 503 while the
+// registry is empty (warming up), 200 once a snapshot has loaded, 503 again
+// when the server starts draining — while /healthz stays 200 throughout.
+func TestHTTPReadiness(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := trainAndSave(t, dir, 2)
+	reg := newTestRegistry(t, Config{})
+	api := NewServer(reg)
+	ts := httptest.NewServer(api.Handler())
+	defer ts.Close()
+
+	get := func(route string) (int, map[string]any) {
+		t.Helper()
+		r, err := http.Get(ts.URL + route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			t.Fatalf("%s: bad body: %v", route, err)
+		}
+		return r.StatusCode, body
+	}
+
+	if status, body := get("/readyz"); status != http.StatusServiceUnavailable || body["ready"] != false {
+		t.Fatalf("empty registry readyz: %d %v", status, body)
+	}
+	if status, _ := get("/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz not 200 while warming up: %d", status)
+	}
+
+	// Any served request loads a snapshot; perplexity is the cheapest.
+	if status, raw := postJSON(t, ts.URL+"/v1/perplexity",
+		perplexityRequest{Checkpoint: path, Batches: 1, Batch: 2, Seq: 8}, nil); status != http.StatusOK {
+		t.Fatalf("warmup request failed: %d %s", status, raw)
+	}
+	if status, body := get("/readyz"); status != http.StatusOK || body["ready"] != true {
+		t.Fatalf("loaded readyz: %d %v", status, body)
+	}
+
+	api.SetDraining(true)
+	if status, body := get("/readyz"); status != http.StatusServiceUnavailable || body["draining"] != true {
+		t.Fatalf("draining readyz: %d %v", status, body)
+	}
+	if status, _ := get("/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz not 200 while draining: %d", status)
+	}
+	api.SetDraining(false)
+	if status, _ := get("/readyz"); status != http.StatusOK {
+		t.Fatalf("readyz did not recover after drain cleared: %d", status)
+	}
+}

@@ -105,6 +105,9 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 	lossSums := make([]float64, b)
 
 	rec := pcfg.Telemetry
+	wd := pcfg.Watchdog
+	timed := rec != nil || wd != nil
+	endStep := pcfg.Steps
 	// Per-replica forward/backward wall time for the concurrent compute
 	// section; merged into the phase clock after the join, so no atomics.
 	repFwd := make([]time.Duration, replicas)
@@ -112,9 +115,11 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 
 	var series []Metric
 	for step := pcfg.StartStep; step < pcfg.Steps; step++ {
-		pc := phaseClock{on: rec != nil}
-		pc.begin()
-		stepStart := pc.mark
+		var stepStart time.Time
+		if timed {
+			stepStart = time.Now()
+		}
+		pc := phaseClock{on: rec != nil, mark: stepStart}
 		if pcfg.Schedule != nil {
 			opt.SetLR(pcfg.Schedule.At(step))
 		}
@@ -212,7 +217,7 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 		}
 		pc.lap(obs.PhaseAllReduce)
 		var gradNorm float64
-		if rec != nil {
+		if timed {
 			gradNorm = model.Params().GradNorm()
 		}
 
@@ -257,13 +262,22 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 				opt.Name(), replicas, step+1, pcfg.Steps, loss, math.Exp(val))
 		}
 		pc.lap(obs.PhaseEval)
+		var wall time.Duration
+		if timed {
+			wall = time.Since(stepStart)
+		}
 		if rec != nil {
-			rec.RecordStep(step+1, loss, gradNorm, opt.LR(), time.Since(stepStart), pc.d)
+			rec.RecordStep(step+1, loss, gradNorm, opt.LR(), wall, pc.d)
+		}
+		if wd.ObserveStep(step+1, loss, gradNorm, wall.Seconds()) {
+			endStep = step + 1
+			pcfg.Logf("[%s x%d] step %d: watchdog halt", opt.Name(), replicas, endStep)
+			break
 		}
 	}
 	final := Validate(model, corpus, pcfg.EvalBatches, b, t)
 	series = append(series, Metric{
-		Step: pcfg.Steps, ValLoss: final, ValPPL: math.Exp(final), LR: opt.LR(),
+		Step: endStep, ValLoss: final, ValPPL: math.Exp(final), LR: opt.LR(),
 	})
 	var perReplica []int64
 	if sharded {
@@ -280,12 +294,13 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 		FinalValPPL:       math.Exp(final),
 		StateBytes:        opt.StateBytes(),
 		WallSeconds:       time.Since(start).Seconds(),
-		Steps:             pcfg.Steps,
+		Steps:             endStep,
 		ReplicaStateBytes: perReplica,
 		AllReduceBytes:    allReduceBytes,
 		BroadcastBytes:    broadcastBytes,
 	}
 	summarizeTelemetry(&res, rec)
+	summarizeWatchdog(&res, wd, endStep)
 	return res
 }
 

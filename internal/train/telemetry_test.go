@@ -2,18 +2,54 @@ package train
 
 import (
 	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 
 	"apollo/internal/nn"
 	"apollo/internal/obs"
+	"apollo/internal/obs/runlog"
 	"apollo/internal/optim"
 	"apollo/internal/zero"
 )
 
+// parityLedger builds a full observability rig for the parity tests: a run
+// ledger entry in a temp root plus an armed watchdog emitting into it. The
+// recorder returned streams to both the caller's builder and the ledger.
+func parityLedger(t *testing.T, b *strings.Builder) (*runlog.Run, *runlog.Watchdog, *obs.TrainRecorder) {
+	t.Helper()
+	run, err := runlog.Create(t.TempDir(), runlog.Manifest{ID: "parity", Command: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := runlog.NewWatchdog(runlog.WatchdogConfig{Halt: true, Emit: run.Alert})
+	rec := obs.NewTrainRecorder(io.MultiWriter(b, run.StepsWriter()))
+	return run, wd, rec
+}
+
+// checkParityLedger finalizes and reloads the ledger entry, asserting the
+// step series landed and no watchdog alert fired on a healthy run.
+func checkParityLedger(t *testing.T, run *runlog.Run, wd *runlog.Watchdog, steps int) {
+	t.Helper()
+	if wd.Halted() || len(wd.Alerts()) != 0 {
+		t.Fatalf("watchdog alerted on a healthy parity run: %+v", wd.Alerts())
+	}
+	if err := run.Finalize(runlog.StatusOK, runlog.Final{Steps: steps}); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := runlog.LoadDir(run.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rd.Steps) != steps || rd.Manifest.Status != runlog.StatusOK {
+		t.Fatalf("ledger entry wrong: %d steps, status %s", len(rd.Steps), rd.Manifest.Status)
+	}
+}
+
 // TestTelemetryParityFused is the telemetry half of the determinism
-// contract: a fused run with a TrainRecorder attached is bit-identical to
-// one without — the instrumentation is timing-only.
+// contract: a fused run with a TrainRecorder, a run-ledger entry AND an
+// armed watchdog attached is bit-identical to a bare one — the whole
+// observability stack is timing-only.
 func TestTelemetryParityFused(t *testing.T) {
 	const seed = 11
 	refModel, refOpt, refCorpus := dpTestSetup(t, seed)
@@ -23,8 +59,11 @@ func TestTelemetryParityFused(t *testing.T) {
 	var b strings.Builder
 	telModel, telOpt, telCorpus := dpTestSetup(t, seed)
 	cfgTel := cfg
-	cfgTel.Telemetry = obs.NewTrainRecorder(&b)
+	run, wd, rec := parityLedger(t, &b)
+	cfgTel.Telemetry = rec
+	cfgTel.Watchdog = wd
 	got := Pretrain(telModel, telOpt, telCorpus, cfgTel)
+	checkParityLedger(t, run, wd, cfg.Steps)
 
 	if len(got.Series) != len(ref.Series) {
 		t.Fatalf("series length %d != %d", len(got.Series), len(ref.Series))
@@ -50,9 +89,11 @@ func TestTelemetryParityFused(t *testing.T) {
 // wraps the concurrent replica workers.
 func TestTelemetryParityDPZero(t *testing.T) {
 	const seed = 42
-	ref, refModel := zeroRun(t, 3, seed, nil)
+	ref, refModel := zeroRun(t, 3, seed, nil, nil)
 	var b strings.Builder
-	got, gotModel := zeroRun(t, 3, seed, obs.NewTrainRecorder(&b))
+	run, wd, rec := parityLedger(t, &b)
+	got, gotModel := zeroRun(t, 3, seed, rec, wd)
+	checkParityLedger(t, run, wd, got.Steps)
 
 	for i := range ref.Series {
 		if got.Series[i] != ref.Series[i] {
@@ -73,8 +114,8 @@ func TestTelemetryParityDPZero(t *testing.T) {
 	}
 }
 
-// zeroRun trains DP+ZeRO with an optional recorder attached.
-func zeroRun(t *testing.T, replicas int, seed uint64, rec *obs.TrainRecorder) (Result, *nn.Model) {
+// zeroRun trains DP+ZeRO with an optional recorder and watchdog attached.
+func zeroRun(t *testing.T, replicas int, seed uint64, rec *obs.TrainRecorder, wd *runlog.Watchdog) (Result, *nn.Model) {
 	t.Helper()
 	model, _, corpus := dpTestSetup(t, seed)
 	opt := zero.NewSharded(func() optim.Optimizer {
@@ -82,6 +123,7 @@ func zeroRun(t *testing.T, replicas int, seed uint64, rec *obs.TrainRecorder) (R
 	}, replicas)
 	cfg := dpTestConfig(replicas)
 	cfg.Telemetry = rec
+	cfg.Watchdog = wd
 	res := DPPretrain(model, opt, corpus, cfg)
 	return res, model
 }

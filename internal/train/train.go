@@ -14,6 +14,7 @@ import (
 	"apollo/internal/data"
 	"apollo/internal/nn"
 	"apollo/internal/obs"
+	"apollo/internal/obs/runlog"
 	"apollo/internal/optim"
 )
 
@@ -57,6 +58,12 @@ type Result struct {
 	// RecordStep saw), excluding the final out-of-loop validation. Zero
 	// unless PretrainConfig.Telemetry was set.
 	StepWallSeconds float64
+	// Halted is set when the watchdog aborted the run (halt-on-divergence):
+	// HaltStep is the last completed step and HaltReason the alert kind that
+	// tripped. Steps then reports HaltStep, not the configured target.
+	Halted     bool
+	HaltStep   int
+	HaltReason string
 }
 
 // PretrainConfig controls a pre-training run.
@@ -100,6 +107,14 @@ type PretrainConfig struct {
 	// an untelemetered one (TestTelemetryParity); disabled it costs one
 	// branch per phase boundary.
 	Telemetry *obs.TrainRecorder
+	// Watchdog, when non-nil, observes every step's loss, gradient norm and
+	// wall time for training-health anomalies — NaN/Inf, loss spikes above a
+	// multiple of the trailing-window median, stalled steps — raising
+	// structured alerts (into the run ledger and obs counters) and, when its
+	// config says Halt, aborting the loop after the offending step.
+	// Observational only: a watched run is bit-identical to an unwatched one
+	// (TestTelemetryParity* run with ledger+watchdog enabled).
+	Watchdog *runlog.Watchdog
 	// Quiet suppresses progress output.
 	Logf func(format string, args ...any)
 }
@@ -134,10 +149,15 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 	}
 
 	rec := cfg.Telemetry
+	wd := cfg.Watchdog
+	timed := rec != nil || wd != nil
+	endStep := cfg.Steps
 	for step := cfg.StartStep; step < cfg.Steps; step++ {
-		pc := phaseClock{on: rec != nil}
-		pc.begin()
-		stepStart := pc.mark
+		var stepStart time.Time
+		if timed {
+			stepStart = time.Now()
+		}
+		pc := phaseClock{on: rec != nil, mark: stepStart}
 		if cfg.Schedule != nil {
 			opt.SetLR(cfg.Schedule.At(step))
 		}
@@ -151,7 +171,7 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 			loss = lossAccum(model, batch, accum, &pc)
 		}
 		var gradNorm float64
-		if rec != nil {
+		if timed {
 			gradNorm = params.GradNorm()
 		}
 		if cfg.ClipNorm > 0 {
@@ -171,13 +191,22 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 			cfg.Logf("[%s] step %d/%d train %.4f val ppl %.2f", opt.Name(), step+1, cfg.Steps, loss, math.Exp(val))
 		}
 		pc.lap(obs.PhaseEval)
+		var wall time.Duration
+		if timed {
+			wall = time.Since(stepStart)
+		}
 		if rec != nil {
-			rec.RecordStep(step+1, loss, gradNorm, opt.LR(), time.Since(stepStart), pc.d)
+			rec.RecordStep(step+1, loss, gradNorm, opt.LR(), wall, pc.d)
+		}
+		if wd.ObserveStep(step+1, loss, gradNorm, wall.Seconds()) {
+			endStep = step + 1
+			cfg.Logf("[%s] step %d: watchdog halt", opt.Name(), endStep)
+			break
 		}
 	}
 	final := Validate(model, corpus, cfg.EvalBatches, cfg.Batch, cfg.Seq)
 	series = append(series, Metric{
-		Step: cfg.Steps, ValLoss: final, ValPPL: math.Exp(final), LR: opt.LR(),
+		Step: endStep, ValLoss: final, ValPPL: math.Exp(final), LR: opt.LR(),
 	})
 	res := Result{
 		Optimizer:   opt.Name(),
@@ -185,10 +214,23 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 		FinalValPPL: math.Exp(final),
 		StateBytes:  opt.StateBytes(),
 		WallSeconds: time.Since(start).Seconds(),
-		Steps:       cfg.Steps,
+		Steps:       endStep,
 	}
 	summarizeTelemetry(&res, rec)
+	summarizeWatchdog(&res, wd, endStep)
 	return res
+}
+
+// summarizeWatchdog folds a halting watchdog's verdict into the result.
+func summarizeWatchdog(res *Result, wd *runlog.Watchdog, endStep int) {
+	if !wd.Halted() {
+		return
+	}
+	res.Halted = true
+	res.HaltStep = endStep
+	if alerts := wd.Alerts(); len(alerts) > 0 {
+		res.HaltReason = alerts[len(alerts)-1].Kind
+	}
 }
 
 // summarizeTelemetry folds a recorder's totals into the result.
@@ -201,20 +243,14 @@ func summarizeTelemetry(res *Result, rec *obs.TrainRecorder) {
 	res.StepWallSeconds = wall
 }
 
-// phaseClock splits a step's wall time across obs.Phase slots: begin stamps
-// the clock, each lap charges the time since the previous boundary to one
-// phase. The zero clock (on=false) makes every call a single branch — the
-// obs cost contract for untelemetered runs.
+// phaseClock splits a step's wall time across obs.Phase slots: the loop
+// seeds mark with the step's start stamp, then each lap charges the time
+// since the previous boundary to one phase. The zero clock (on=false) makes
+// every call a single branch — the obs cost contract for untelemetered runs.
 type phaseClock struct {
 	on   bool
 	mark time.Time
 	d    [obs.NumPhases]time.Duration
-}
-
-func (pc *phaseClock) begin() {
-	if pc.on {
-		pc.mark = time.Now()
-	}
 }
 
 func (pc *phaseClock) lap(p obs.Phase) {
