@@ -23,6 +23,14 @@
 // -offline prints the loss train.Validate computes on the restored
 // snapshot, as a shortest-round-trip decimal on one line — the reference
 // value CI compares served loss_text responses against, bit for bit.
+//
+// Production traffic: scoring responses are cached (-cache-entries, LRU,
+// invalidated by hot reload), executor queues are bounded (-max-queue) and
+// load shedding (-shed-ms) answers 429 with Retry-After once the queue-wait
+// p95 over -shed-window-ms crosses the threshold; /readyz reports
+// backpressure while shedding. -drain-wait holds the listener open after a
+// shutdown signal flips /readyz to 503, giving load balancers a
+// deregistration window. Bodies over -max-body-bytes answer 413.
 package main
 
 import (
@@ -53,6 +61,12 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "run seed of the training run (corpus = seed+17)")
 		maxModels = flag.Int("max-models", 4, "snapshots resident at once (LRU beyond)")
 		maxBatch  = flag.Int("max-batch", 8, "scoring sequences coalesced per forward")
+		cacheEnt  = flag.Int("cache-entries", 4096, "response-cache entries (LRU beyond; 0 disables caching)")
+		maxQueue  = flag.Int("max-queue", 256, "executor queue bound per snapshot; over it queries answer 429 (0 = unbounded)")
+		shedMS    = flag.Float64("shed-ms", 0, "shed new compute with 429 when queue-wait p95 exceeds this many ms (0 disables)")
+		shedWinMS = flag.Float64("shed-window-ms", 1000, "rolling window feeding the shed p95")
+		maxBody   = flag.Int64("max-body-bytes", 1<<20, "request bodies over this answer 413")
+		drainWait = flag.Duration("drain-wait", 0, "pause between flipping /readyz to 503 and closing the listener, so load balancers deregister first")
 		workers   = flag.Int("workers", 0, "tensor worker pool size (0 = GOMAXPROCS)")
 		offline   = flag.Bool("offline", false, "print the exact offline validation loss for a checkpoint and exit")
 		batches   = flag.Int("batches", 4, "validation batches (offline mode)")
@@ -112,10 +126,23 @@ func main() {
 		tracer = obs.NewTracer(f)
 	}
 
+	// Flag semantics use 0 for "off"; the Config uses 0 for "default", so
+	// off maps to the negative sentinel.
+	cacheEntries, queueBound := *cacheEnt, *maxQueue
+	if cacheEntries == 0 {
+		cacheEntries = -1
+	}
+	if queueBound == 0 {
+		queueBound = -1
+	}
 	cfg := serve.Config{
 		Model: proxy.Model, Corpus: corpus,
 		MaxModels: *maxModels, MaxBatch: *maxBatch,
-		Metrics: metrics, Tracer: tracer, Pprof: *pprofOn,
+		CacheEntries: cacheEntries, MaxQueue: queueBound,
+		ShedThreshold: time.Duration(*shedMS * float64(time.Millisecond)),
+		ShedWindow:    time.Duration(*shedWinMS * float64(time.Millisecond)),
+		MaxBodyBytes:  *maxBody,
+		Metrics:       metrics, Tracer: tracer, Pprof: *pprofOn,
 	}
 	reg, err := serve.NewRegistry(cfg)
 	if err != nil {
@@ -146,6 +173,11 @@ func main() {
 		stop()
 		api.SetDraining(true)
 		fmt.Println("apollo-serve: shutdown signal, draining in-flight queries")
+		// Keep the listener open while /readyz answers 503 so load
+		// balancers deregister before connections start being refused.
+		if *drainWait > 0 {
+			time.Sleep(*drainWait)
+		}
 		drain, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(drain); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -18,9 +18,10 @@ func TestRegistryComplete(t *testing.T) {
 		// Beyond the paper: measured parallel-runtime counterpart of the
 		// cluster simulator's throughput claims, the ZeRO-sharded
 		// optimizer-state experiment on top of the DP trainer, the
-		// checkpoint/resume + elastic-resharding experiment, and the
-		// checkpoint-streamed evaluation service.
-		"runtime", "zero", "ckpt", "serve",
+		// checkpoint/resume + elastic-resharding experiment, the
+		// checkpoint-streamed evaluation service, and its open-loop load
+		// harness.
+		"runtime", "zero", "ckpt", "serve", "load",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {

@@ -1,0 +1,333 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apollo/internal/ckpt"
+	"apollo/internal/obs"
+	"apollo/internal/optim"
+	"apollo/internal/serve"
+	"apollo/internal/tensor"
+	"apollo/internal/train"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "load",
+		Title:    "Production traffic: open-loop load vs offered QPS — latency, shed rate, cache hit rate",
+		PaperRef: "Sec. 5 service under load",
+		Run:      runLoad,
+	})
+}
+
+// loadRow is one offered-QPS level of the open-loop sweep. Open loop means
+// requests fire on a fixed clock regardless of completions — offered load
+// does not slow down when the server does, which is what exposes queueing
+// collapse and makes shedding measurable.
+type loadRow struct {
+	OfferedQPS   float64 `json:"offered_qps"`
+	AchievedQPS  float64 `json:"achieved_qps"` // dispatch rate the harness actually sustained
+	Requests     int     `json:"requests"`
+	OK           int     `json:"ok"`
+	Shed         int     `json:"shed"` // 429 responses
+	ShedRate     float64 `json:"shed_rate"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	P50LatencyMS float64 `json:"p50_ms"`
+	P99LatencyMS float64 `json:"p99_ms"`
+}
+
+// loadBenchSection is the "load" section of BENCH_serve.json.
+type loadBenchSection struct {
+	Description     string    `json:"description"`
+	CapacityQPS     float64   `json:"capacity_qps"` // closed-loop single-stream probe
+	MaxQueue        int       `json:"max_queue"`
+	ShedThresholdMS float64   `json:"shed_threshold_ms"`
+	CacheParity     string    `json:"cache_parity"`      // cached == computed bytes
+	HotReloadParity string    `json:"hot_reload_parity"` // new generation recomputes, then caches
+	Rows            []loadRow `json:"rows"`
+}
+
+// runLoad drives a real apollo-serve HTTP server open-loop: a closed-loop
+// probe estimates single-stream capacity, then fixed-rate request streams at
+// multiples of it record latency quantiles, shed rate and cache hit rate per
+// offered level into BENCH_serve.json (section "load", merged next to the
+// closed-loop serve section). It also pins the two parity contracts on the
+// wire: a cached response is byte-identical to its first compute, and a hot
+// reload recomputes instead of serving the old generation's bytes.
+func runLoad(ctx *RunContext) error {
+	proxy, err := ProxyByName("60M")
+	if err != nil {
+		return err
+	}
+	steps, duration, maxPerLevel := 4, 1500*time.Millisecond, 1500
+	if ctx.Scale == Full {
+		steps, duration, maxPerLevel = 12, 4*time.Second, 6000
+	}
+
+	dir, err := os.MkdirTemp("", "apollo-load-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "run.ckpt")
+	trainOnce := func(steps int) error {
+		model := proxy.NewProxyModel(ctx.Seed + 33)
+		opt := optim.NewAdamW(optim.Hyper{LR: proxy.LR})
+		corpus, err := NewCorpus(ctx.Seed + 17)
+		if err != nil {
+			return err
+		}
+		train.Pretrain(model, opt, corpus, train.PretrainConfig{
+			Batch: proxy.Batch, Seq: proxy.Seq, Steps: steps,
+		})
+		st, err := ckpt.Capture(steps, model.Params().List(), opt, corpus)
+		if err != nil {
+			return err
+		}
+		return ckpt.SaveFile(path, st)
+	}
+	if err := trainOnce(steps); err != nil {
+		return err
+	}
+
+	// A production-shaped server: default cache and queue bound, shedding at
+	// a 25ms queue-wait p95 over a 250ms window.
+	corpus, err := NewCorpus(ctx.Seed + 17)
+	if err != nil {
+		return err
+	}
+	reg, err := serve.NewRegistry(serve.Config{
+		Model: proxy.Model, Corpus: corpus,
+		ShedThreshold: 25 * time.Millisecond, ShedWindow: 250 * time.Millisecond,
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := reg.Acquire(path); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := serve.NewHTTPServer("", serve.NewServer(reg).Handler())
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	client := &http.Client{
+		Timeout: time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		},
+	}
+	logprob := func(seed int) ([]byte, error) {
+		rng := tensor.NewRNG(ctx.Seed + uint64(seed)*2654435761 + 9)
+		c, o := make([]int, 16), make([]int, 8)
+		for j := range c {
+			c[j] = rng.Intn(proxy.Model.Vocab)
+		}
+		for j := range o {
+			o[j] = rng.Intn(proxy.Model.Vocab)
+		}
+		return json.Marshal(map[string]any{"checkpoint": path, "context": c, "option": o})
+	}
+	post := func(body []byte) (int, string, []byte, error) {
+		resp, err := client.Post(base+"/v1/logprob", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, "", nil, err
+		}
+		defer resp.Body.Close()
+		blob, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header.Get("X-Cache"), blob, err
+	}
+
+	// Parity contract on the wire: compute, then hit — identical bytes.
+	parityBody, err := logprob(1)
+	if err != nil {
+		return err
+	}
+	_, xc1, first, err := post(parityBody)
+	if err != nil {
+		return err
+	}
+	_, xc2, second, err := post(parityBody)
+	if err != nil {
+		return err
+	}
+	cacheParity := "exact"
+	if xc1 != "miss" || xc2 != "hit" || !bytes.Equal(first, second) {
+		cacheParity = fmt.Sprintf("DRIFT (%s/%s, equal=%v)", xc1, xc2, bytes.Equal(first, second))
+	}
+	ctx.Printf("cache parity        %s (cached response is byte-identical to its compute)\n", cacheParity)
+
+	// Hot-reload contract: new bytes on disk → the same query recomputes
+	// under the new generation, then caches again.
+	if err := trainOnce(steps + 2); err != nil {
+		return err
+	}
+	_, xr1, reloaded, err := post(parityBody)
+	if err != nil {
+		return err
+	}
+	_, xr2, reloadedAgain, err := post(parityBody)
+	if err != nil {
+		return err
+	}
+	reloadParity := "exact"
+	if xr1 != "miss" || bytes.Equal(reloaded, first) || xr2 != "hit" || !bytes.Equal(reloaded, reloadedAgain) {
+		reloadParity = fmt.Sprintf("DRIFT (%s/%s)", xr1, xr2)
+	}
+	ctx.Printf("hot-reload parity   %s (reload recomputes, stale bytes never resurface)\n\n", reloadParity)
+
+	// Closed-loop capacity probe: one stream of unique (uncacheable)
+	// queries for ~1s.
+	probeDeadline := time.Now().Add(time.Second)
+	probeStart, probed := time.Now(), 0
+	for seed := 100; time.Now().Before(probeDeadline); seed++ {
+		body, err := logprob(seed)
+		if err != nil {
+			return err
+		}
+		if status, _, blob, err := post(body); err != nil || status != http.StatusOK {
+			return fmt.Errorf("capacity probe: status %d, err %v (%s)", status, err, blob)
+		}
+		probed++
+	}
+	capacity := float64(probed) / time.Since(probeStart).Seconds()
+	ctx.Printf("capacity probe      %.0f qps single-stream closed-loop (%d queries)\n\n", capacity, probed)
+
+	// Open-loop sweep at multiples of capacity. 25% of requests draw from a
+	// small hot pool (cacheable after first compute), 75% are unique — so
+	// compute demand crosses capacity between the 1x and 2x levels and the
+	// admission path has to engage.
+	hotPool := make([][]byte, 8)
+	for i := range hotPool {
+		if hotPool[i], err = logprob(2000 + i); err != nil {
+			return err
+		}
+	}
+	var rows []loadRow
+	ctx.Printf("open-loop sweep (%v per level, 25%% hot / 75%% unique logprob queries):\n", duration)
+	ctx.Printf("  %-11s %11s %9s %7s %10s %10s %9s %9s\n",
+		"offered", "achieved", "requests", "ok", "shed rate", "hit rate", "p50", "p99")
+	uniqueSeed := 10000
+	for _, mult := range []float64{0.5, 1, 2} {
+		offered := capacity * mult
+		interval := time.Duration(float64(time.Second) / offered)
+		o := obs.NewRegistry()
+		lat := o.Histogram("bench_load_seconds", "Per-request latency at this offered level.", obs.LatencyBuckets)
+		var ok, shed, hits, other atomic.Int64
+		var wg sync.WaitGroup
+
+		n := 0
+		start := time.Now()
+		next := start
+		deadline := start.Add(duration)
+		for time.Now().Before(deadline) && n < maxPerLevel {
+			if now := time.Now(); now.Before(next) {
+				time.Sleep(next.Sub(now))
+			}
+			next = next.Add(interval)
+			var body []byte
+			if n%4 == 0 {
+				body = hotPool[(n/4)%len(hotPool)]
+			} else {
+				uniqueSeed++
+				if body, err = logprob(uniqueSeed); err != nil {
+					return err
+				}
+			}
+			n++
+			wg.Add(1)
+			go func(body []byte) {
+				defer wg.Done()
+				t0 := time.Now()
+				status, xc, _, err := post(body)
+				lat.Observe(time.Since(t0).Seconds())
+				switch {
+				case err == nil && status == http.StatusOK:
+					ok.Add(1)
+					if xc == "hit" {
+						hits.Add(1)
+					}
+				case err == nil && status == http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					other.Add(1)
+				}
+			}(body)
+		}
+		dispatched := time.Since(start).Seconds()
+		wg.Wait()
+		if v := other.Load(); v > 0 {
+			return fmt.Errorf("offered %.0f qps: %d requests failed with neither 200 nor 429", offered, v)
+		}
+		row := loadRow{
+			OfferedQPS:   offered,
+			AchievedQPS:  float64(n) / dispatched,
+			Requests:     n,
+			OK:           int(ok.Load()),
+			Shed:         int(shed.Load()),
+			ShedRate:     float64(shed.Load()) / float64(n),
+			CacheHitRate: float64(hits.Load()) / float64(n),
+			P50LatencyMS: lat.Quantile(0.50) * 1e3,
+			P99LatencyMS: lat.Quantile(0.99) * 1e3,
+		}
+		rows = append(rows, row)
+		ctx.Printf("  %8.0fqps %8.0fqps %9d %7d %9.1f%% %9.1f%% %7.1fms %7.1fms\n",
+			row.OfferedQPS, row.AchievedQPS, row.Requests, row.OK,
+			row.ShedRate*100, row.CacheHitRate*100, row.P50LatencyMS, row.P99LatencyMS)
+	}
+
+	section := &loadBenchSection{
+		Description: "Open-loop load sweep against a live apollo-serve instance on this host. Regenerate with: " +
+			"apollo-bench -run load. Requests fire on a fixed clock at multiples of the probed capacity; " +
+			"under saturation the bounded queue and the queue-wait-p95 shed threshold convert overload into " +
+			"429s (shed_rate) while cache hits keep serving. Latency quantiles carry obs histogram bucket " +
+			"resolution. Parity fields are host-independent contracts.",
+		CapacityQPS:     capacity,
+		MaxQueue:        256,
+		ShedThresholdMS: 25,
+		CacheParity:     cacheParity,
+		HotReloadParity: reloadParity,
+		Rows:            rows,
+	}
+	if err := mergeLoadSection(section); err != nil {
+		return err
+	}
+	ctx.Printf("\nmerged load section into BENCH_serve.json\n")
+	if cacheParity != "exact" || reloadParity != "exact" {
+		return fmt.Errorf("bench load: parity violated (cache %s, hot reload %s)", cacheParity, reloadParity)
+	}
+	return nil
+}
+
+// mergeLoadSection read-modify-writes BENCH_serve.json so `-run load` and
+// `-run serve` each own their section without clobbering the other's.
+func mergeLoadSection(section *loadBenchSection) error {
+	report := serveBenchReport{}
+	if blob, err := os.ReadFile("BENCH_serve.json"); err == nil {
+		if err := json.Unmarshal(blob, &report); err != nil {
+			return fmt.Errorf("bench load: existing BENCH_serve.json unreadable: %w", err)
+		}
+	}
+	report.Load = section
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_serve.json", append(blob, '\n'), 0o644)
+}

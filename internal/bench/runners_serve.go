@@ -56,6 +56,9 @@ type serveBenchReport struct {
 	ScoredSeqs      int64           `json:"scored_seqs"`
 	LargestBatch    int64           `json:"largest_batch"`
 	Throughput      []serveBenchRow `json:"throughput"`
+	// Load is the open-loop sweep owned by `apollo-bench -run load`
+	// (runners_load.go); runServe preserves it across rewrites.
+	Load *loadBenchSection `json:"load,omitempty"`
 }
 
 // runServe exercises the evaluation service end to end on the 60M proxy: a
@@ -246,6 +249,13 @@ func runServe(ctx *RunContext) error {
 		CheckpointBytes: fi.Size(),
 		BatchedForwards: st.Forwards, ScoredSeqs: st.ScoredSeqs, LargestBatch: st.LargestBatch,
 		Throughput: rows,
+	}
+	// Keep the load section the `load` experiment owns, if one was recorded.
+	if blob, err := os.ReadFile("BENCH_serve.json"); err == nil {
+		var prev serveBenchReport
+		if json.Unmarshal(blob, &prev) == nil {
+			report.Load = prev.Load
+		}
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramWindowQuantiles: a window sees only observations since its
+// creation / last rotation, at the same rank-exact bucket resolution as the
+// full histogram.
+func TestHistogramWindowQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("w_test_seconds", "t", []float64{0.001, 0.01, 0.1, 1})
+
+	// Pre-window history the window must not see.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.0005) // all in the first bucket
+	}
+	w := h.Window()
+	if w.Count() != 0 {
+		t.Fatalf("fresh window count %d, want 0", w.Count())
+	}
+	if q := w.Quantile(0.95); q != 0 {
+		t.Fatalf("empty window quantile %v, want 0", q)
+	}
+
+	// Window observations land in the 0.1 bucket; the lifetime median stays
+	// in the first bucket (100 old vs 10 new), so the two readouts must
+	// differ.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05)
+	}
+	if w.Count() != 10 {
+		t.Fatalf("window count %d, want 10", w.Count())
+	}
+	if q := w.Quantile(0.95); q != 0.1 {
+		t.Fatalf("window p95 %v, want 0.1 (bucket upper bound)", q)
+	}
+	if q := h.Quantile(0.50); q != 0.001 {
+		t.Fatalf("lifetime p50 %v, want 0.001 — window leaked into histogram readout", q)
+	}
+
+	// Rotation empties the window without touching the histogram.
+	w.Rotate()
+	if w.Count() != 0 {
+		t.Fatalf("rotated window count %d, want 0", w.Count())
+	}
+	if h.Count() != 110 {
+		t.Fatalf("histogram count %d, want 110", h.Count())
+	}
+
+	// Overflow-bucket observations report the lifetime max (documented
+	// conservative bound).
+	h.Observe(7.5)
+	if q := w.Quantile(0.99); q != 7.5 {
+		t.Fatalf("overflow window quantile %v, want 7.5", q)
+	}
+}
+
+// TestHistogramWindowNilSafe: the disabled mode costs a branch, like every
+// obs handle.
+func TestHistogramWindowNilSafe(t *testing.T) {
+	var h *Histogram
+	w := h.Window()
+	if w != nil {
+		t.Fatal("nil histogram should yield a nil window")
+	}
+	w.Rotate()
+	if w.Count() != 0 || w.Quantile(0.95) != 0 {
+		t.Fatal("nil window must read as empty")
+	}
+}
+
+// TestHistogramWindowConcurrent: rotations racing observations never
+// produce a negative count or a panic (the readout is monotone between
+// rotations).
+func TestHistogramWindowConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("w_race_seconds", "t", []float64{0.01, 1})
+	w := h.Window()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(0.5)
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if c := w.Count(); c < 0 {
+			t.Errorf("negative window count %d", c)
+			break
+		}
+		w.Quantile(0.95)
+		if i%10 == 0 {
+			w.Rotate()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apollo/internal/obs"
+)
+
+// errShedOverload reports a compute query rejected by admission control:
+// the recent queue-wait p95 crossed the shed threshold, so accepting more
+// work would only grow the queue. Mapped to 429 with Retry-After; cache
+// hits are still served while shedding (they never touch an executor).
+var errShedOverload = errors.New("serve: overloaded, queue-wait p95 over shed threshold; retry later")
+
+// admission is the load-shedding controller: a rolling window over the
+// batcher queue-wait histogram (the signal PR 5 built) read as a live p95
+// gauge. The controller rotates the window lazily on the request path —
+// at most once per interval — so it needs no background goroutine: each
+// admitted request (and each /readyz probe) refreshes the verdict, and an
+// idle server decays back to admitting within one rotation because an
+// empty window sheds nothing.
+type admission struct {
+	threshold float64 // seconds of queue-wait p95 beyond which new compute is shed
+	interval  time.Duration
+	win       *obs.HistogramWindow
+
+	mu       sync.Mutex
+	last     time.Time
+	shedding atomic.Bool
+	p95      atomic.Uint64 // float64 bits of the last windowed p95
+}
+
+func newAdmission(threshold, interval time.Duration, queueWait *obs.Histogram, o *obs.Registry) *admission {
+	a := &admission{
+		threshold: threshold.Seconds(),
+		interval:  interval,
+		win:       queueWait.Window(),
+		last:      time.Now(),
+	}
+	o.GaugeFunc("apollo_serve_queue_wait_p95_seconds",
+		"Queue-wait p95 over the last shed window — the live load-shedding signal.",
+		func() float64 { return math.Float64frombits(a.p95.Load()) })
+	o.GaugeFunc("apollo_serve_shedding",
+		"1 while admission control is shedding new compute queries, 0 otherwise.",
+		func() float64 {
+			if a.Shedding() {
+				return 1
+			}
+			return 0
+		})
+	return a
+}
+
+// maybeRotate re-evaluates the shed verdict once per interval: read the
+// windowed p95, record it, rotate, and flip the shedding state. An empty
+// window (no queued work since the last rotation) always re-admits.
+func (a *admission) maybeRotate() {
+	a.mu.Lock()
+	if now := time.Now(); now.Sub(a.last) >= a.interval {
+		a.last = now
+		p95 := a.win.Quantile(0.95)
+		n := a.win.Count()
+		a.win.Rotate()
+		a.p95.Store(math.Float64bits(p95))
+		a.shedding.Store(n > 0 && p95 > a.threshold)
+	}
+	a.mu.Unlock()
+}
+
+// allow reports whether a new compute query may proceed. Nil-safe: a nil
+// controller (shedding disabled) admits everything.
+func (a *admission) allow() bool {
+	if a == nil {
+		return true
+	}
+	a.maybeRotate()
+	return !a.shedding.Load()
+}
+
+// Shedding reports the current verdict without admitting anything — the
+// /readyz backpressure signal. It refreshes the window like allow so a
+// recovered server flips back to ready on the next probe.
+func (a *admission) Shedding() bool {
+	if a == nil {
+		return false
+	}
+	a.maybeRotate()
+	return a.shedding.Load()
+}

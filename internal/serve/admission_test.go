@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"apollo/internal/nn"
+	"apollo/internal/obs"
+)
+
+// queueLen reads the batcher's pending-item count — in-package test plumbing
+// for sequencing the queue-full scenario deterministically.
+func (b *batcher) queueLen() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}
+
+// TestQueueFull429: with the executor wedged and the bounded queue full, a
+// new query answers 429 with Retry-After instead of queueing without bound,
+// and counts into apollo_serve_shed_total{reason="queue_full"}.
+func TestQueueFull429(t *testing.T) {
+	o := obs.NewRegistry()
+	ts, path, reg := newTestServer(t, Config{MaxQueue: 1, Metrics: o})
+
+	e, err := reg.Acquire(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wedge the executor: an exec that blocks until released. Wait for it to
+	// actually start so it occupies the executor, not the queue.
+	started, release := make(chan struct{}), make(chan struct{})
+	wedgeDone := make(chan error, 1)
+	go func() {
+		wedgeDone <- e.batcher.exec(func(m *nn.Model) { close(started); <-release })
+	}()
+	<-started
+	// Fill the queue to its bound of 1 with a second exec.
+	fillDone := make(chan error, 1)
+	go func() { fillDone <- e.batcher.exec(func(m *nn.Model) {}) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.batcher.queueLen() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("filler exec never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	status, body, h := postRaw(t, ts.URL+"/v1/perplexity",
+		perplexityRequest{Checkpoint: path, Batches: 1, Batch: 2, Seq: 8})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("full queue answered %d (%s), want 429", status, body)
+	}
+	if h.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	close(release)
+	if err := <-wedgeDone; err != nil {
+		t.Fatalf("wedge exec: %v", err)
+	}
+	if err := <-fillDone; err != nil {
+		t.Fatalf("filler exec: %v", err)
+	}
+
+	_, expo := scrape(t, ts.URL+"/metrics")
+	if v := metricValue(t, expo, `apollo_serve_shed_total{reason="queue_full"}`); v != 1 {
+		t.Fatalf("shed counter %v, want 1", v)
+	}
+	// The queue drained; the same query now computes fine.
+	if status, body, _ := postRaw(t, ts.URL+"/v1/perplexity",
+		perplexityRequest{Checkpoint: path, Batches: 1, Batch: 2, Seq: 8}); status != http.StatusOK {
+		t.Fatalf("post-drain query %d (%s), want 200", status, body)
+	}
+}
+
+// TestShedOverloadAndRecovery walks admission control through a full cycle:
+// real queue waits cross a 1ns threshold, so after one shed window the next
+// compute query is refused with 429, /readyz reports backpressure, cache
+// hits keep serving — and once the queue stays empty for a window, the
+// verdict decays and the server re-admits.
+func TestShedOverloadAndRecovery(t *testing.T) {
+	o := obs.NewRegistry()
+	const window = 50 * time.Millisecond
+	ts, path, _ := newTestServer(t, Config{ShedThreshold: time.Nanosecond, ShedWindow: window, Metrics: o})
+
+	// Admitted (the first window is empty) and cached; its queue wait —
+	// necessarily over 1ns — lands in the signal window.
+	cached := logProbRequest{Checkpoint: path, Context: []int{1, 2}, Option: []int{3}}
+	if status, body, _ := postRaw(t, ts.URL+"/v1/logprob", cached); status != http.StatusOK {
+		t.Fatalf("warmup query %d (%s)", status, body)
+	}
+	time.Sleep(window + 10*time.Millisecond)
+
+	// The rotation at this request sees the warmup's waits: shed.
+	fresh := logProbRequest{Checkpoint: path, Context: []int{4, 5}, Option: []int{6}}
+	status, body, h := postRaw(t, ts.URL+"/v1/logprob", fresh)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("overloaded query answered %d (%s), want 429", status, body)
+	}
+	if h.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Backpressure is visible on /readyz while the verdict holds.
+	r, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz %d while shedding, want 503", r.StatusCode)
+	}
+
+	// Cache hits never touch an executor, so they serve even while shedding.
+	if status, _, h := postRaw(t, ts.URL+"/v1/logprob", cached); status != http.StatusOK || h.Get("X-Cache") != "hit" {
+		t.Fatalf("cache hit while shedding: %d, X-Cache %q, want 200/hit", status, h.Get("X-Cache"))
+	}
+
+	_, expo := scrape(t, ts.URL+"/metrics")
+	if v := metricValue(t, expo, `apollo_serve_shed_total{reason="overload"}`); v < 1 {
+		t.Fatalf("shed counter %v, want >= 1", v)
+	}
+
+	// Recovery: with nothing queuing, the next rotations see empty windows
+	// and /readyz probes alone flip the verdict back.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never recovered from shedding")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if status, body, _ := postRaw(t, ts.URL+"/v1/logprob", fresh); status != http.StatusOK {
+		t.Fatalf("post-recovery query %d (%s), want 200", status, body)
+	}
+}
+
+// TestAdmissionDisabledByDefault: without a ShedThreshold no controller is
+// built, every query admits, and /readyz never reports shedding.
+func TestAdmissionDisabledByDefault(t *testing.T) {
+	reg := newTestRegistry(t, Config{})
+	if reg.adm != nil {
+		t.Fatal("admission controller built without a threshold")
+	}
+	if !reg.adm.allow() || reg.adm.Shedding() {
+		t.Fatal("nil controller must admit everything")
+	}
+}

@@ -16,6 +16,12 @@ import (
 // draining. Registry.WithEntry transparently retries on the successor.
 var errClosed = errors.New("serve: snapshot superseded")
 
+// errQueueFull reports a submission bounced off the executor's admission
+// bound: accepting it would grow the pending queue beyond maxQueue. Unlike
+// errClosed this is not retried internally — it maps to 429 so the client
+// backs off instead of the queue growing without bound.
+var errQueueFull = errors.New("serve: executor queue full, retry later")
+
 // scoreReq is one option-scoring unit: the mean log-probability of the
 // option tokens conditioned on the context — exactly eval.OptionLogProb's
 // length-normalized rule, including its empty-context handling (the first
@@ -126,6 +132,7 @@ type Stats struct {
 type batcher struct {
 	model    *nn.Model
 	maxBatch int
+	maxQueue int             // pending-item bound; 0 = unbounded
 	om       *batcherMetrics // nil when uninstrumented (one branch per event)
 
 	mu     sync.Mutex
@@ -135,8 +142,8 @@ type batcher struct {
 	stats  Stats
 }
 
-func newBatcher(model *nn.Model, maxBatch int, om *batcherMetrics) *batcher {
-	b := &batcher{model: model, maxBatch: maxBatch, om: om}
+func newBatcher(model *nn.Model, maxBatch, maxQueue int, om *batcherMetrics) *batcher {
+	b := &batcher{model: model, maxBatch: maxBatch, maxQueue: maxQueue, om: om}
 	b.cond = sync.NewCond(&b.mu)
 	go b.loop()
 	return b
@@ -191,6 +198,13 @@ func (b *batcher) submit(items ...item) error {
 	if b.closed {
 		b.mu.Unlock()
 		return errClosed
+	}
+	// Admission bound: all-or-nothing, so a multi-unit zero-shot query never
+	// half-enqueues. The executor drains the whole queue each wake, so this
+	// bounds instantaneous backlog — and therefore worst-case queue wait.
+	if b.maxQueue > 0 && len(b.queue)+len(items) > b.maxQueue {
+		b.mu.Unlock()
+		return errQueueFull
 	}
 	b.queue = append(b.queue, items...)
 	b.mu.Unlock()
@@ -323,10 +337,11 @@ func (b *batcher) scoreChunk(chunk []item, t int) {
 
 // safely converts a panic in served work into an error on the query — a
 // malformed request must never take the executor (and the service) down.
+// The failure is the executor's, not the caller's, so it carries a 500.
 func (b *batcher) safely(f func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("serve: query failed: %v", r)
+			err = internalErr(fmt.Errorf("serve: query failed: %v", r))
 		}
 	}()
 	f()

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"apollo/internal/obs"
+)
+
+// responseCache memoizes the marshaled response bodies of the pure scoring
+// endpoints (perplexity, logprob, zeroshot), keyed by the snapshot's load
+// sequence plus a canonical encoding of the query. Caching is
+// bit-transparent by construction: the stored bytes are exactly what the
+// first compute marshaled, every scoring query is a deterministic function
+// of (weights, query), and the key's load sequence is bumped by every
+// snapshot load — so a hot reload (or an eviction followed by a reload of a
+// changed file) makes every stale entry unreachable for free; the dead
+// entries age out through the LRU bound.
+//
+// Fine-tune responses are never cached: a tuning job is a training run, not
+// a scoring query, and callers vary seeds expecting fresh runs.
+type responseCache struct {
+	max int
+
+	mu    sync.Mutex
+	lru   *list.List // front = most recently used; values are *cacheEnt
+	byKey map[string]*list.Element
+
+	hits, misses, evicts atomic.Int64
+	m                    *cacheMetrics // nil when uninstrumented
+}
+
+type cacheEnt struct {
+	key  string
+	blob []byte
+}
+
+// cacheMetrics is the cache's observability surface; record methods are
+// nil-receiver safe like every other obs handle in this package.
+type cacheMetrics struct {
+	hits, misses, evicts *obs.Counter
+}
+
+func newCacheMetrics(o *obs.Registry) *cacheMetrics {
+	if o == nil {
+		return nil
+	}
+	return &cacheMetrics{
+		hits:   o.Counter("apollo_serve_cache_hits_total", "Scoring queries answered from the response cache."),
+		misses: o.Counter("apollo_serve_cache_misses_total", "Scoring queries that had to compute (and filled the cache)."),
+		evicts: o.Counter("apollo_serve_cache_evictions_total", "Response-cache entries evicted by the entry-count bound."),
+	}
+}
+
+func (m *cacheMetrics) hit() {
+	if m == nil {
+		return
+	}
+	m.hits.Inc()
+}
+
+func (m *cacheMetrics) miss() {
+	if m == nil {
+		return
+	}
+	m.misses.Inc()
+}
+
+func (m *cacheMetrics) evicted() {
+	if m == nil {
+		return
+	}
+	m.evicts.Inc()
+}
+
+func newResponseCache(max int, o *obs.Registry) *responseCache {
+	return &responseCache{
+		max:   max,
+		lru:   list.New(),
+		byKey: map[string]*list.Element{},
+		m:     newCacheMetrics(o),
+	}
+}
+
+// get returns the cached response body for key, refreshing its LRU
+// position.
+func (c *responseCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.byKey[key]
+	if ok {
+		c.lru.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		c.m.miss()
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.m.hit()
+	return el.Value.(*cacheEnt).blob, true
+}
+
+// put stores a computed response body, evicting least-recently-used entries
+// beyond the bound. Two racing computes of the same key store identical
+// bytes (determinism contract), so last-write-wins is safe.
+func (c *responseCache) put(key string, blob []byte) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEnt).blob = blob
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheEnt{key: key, blob: blob})
+	evicted := 0
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEnt).key)
+		evicted++
+	}
+	c.mu.Unlock()
+	if evicted > 0 {
+		c.evicts.Add(int64(evicted))
+		for i := 0; i < evicted; i++ {
+			c.m.evicted()
+		}
+	}
+}
+
+// Len reports the resident entry count.
+func (c *responseCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// entryKey prefixes a canonical query with the snapshot's identity. The
+// load sequence — not the per-path generation — is the invalidation tag: it
+// is unique across every load the registry ever performed, so an entry
+// evicted and later reloaded from a changed file can never resurrect a
+// stale response (per-path generations restart at 1 after an eviction and
+// would collide).
+func entryKey(e *Entry, canon string) string {
+	var b strings.Builder
+	b.Grow(len(e.Path) + len(canon) + 24)
+	b.WriteString(strconv.FormatInt(e.loadSeq, 10))
+	b.WriteByte('|')
+	b.WriteString(e.Path)
+	b.WriteByte('|')
+	b.WriteString(canon)
+	return b.String()
+}
+
+// canonInts appends a canonical rendering of an int slice (length-prefixed
+// so [1],[2] and [1,2],[] cannot collide).
+func canonInts(b *strings.Builder, xs []int) {
+	b.WriteString(strconv.Itoa(len(xs)))
+	b.WriteByte(':')
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+}

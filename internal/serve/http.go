@@ -2,10 +2,12 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -180,14 +182,94 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+// writeBlob sends an already-marshaled response body — the cache-hit path.
+// Byte-compatible with writeJSON: same Content-Type, same trailing newline,
+// so a cached response is char-for-char what the first compute sent.
+func writeBlob(w http.ResponseWriter, status int, blob []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(blob)
+	w.Write([]byte("\n"))
+}
+
+// writeQueryError maps a query error to its status (status.go) and answers.
+// 429s carry Retry-After (one shed window, the soonest the verdict can flip)
+// and count into apollo_serve_shed_total by reason.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	status := httpStatus(err)
+	if status == http.StatusTooManyRequests {
+		retry := int(math.Ceil(s.reg.cfg.ShedWindow.Seconds()))
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		if o := s.reg.cfg.Metrics; o != nil {
+			reason := "queue_full"
+			if errors.Is(err, errShedOverload) {
+				reason = "overload"
+			}
+			o.Counter("apollo_serve_shed_total", "Queries refused by admission control, by reason.",
+				obs.Label{Key: "reason", Value: reason}).Inc()
+		}
+	}
+	writeError(w, status, err)
+}
+
+// decodeBody reads a JSON request body capped at Config.MaxBodyBytes — an
+// oversized body answers 413 instead of buffering without bound.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.reg.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("serve: request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
 		return false
 	}
 	return true
+}
+
+// serveQuery runs one cacheable scoring query: answer from the response
+// cache when the (snapshot, canonical query) pair is resident, otherwise
+// pass admission control, compute, and fill the cache with the marshaled
+// bytes. The admission check sits after the cache lookup on purpose — an
+// overloaded server keeps answering everything it already knows.
+func (s *Server) serveQuery(w http.ResponseWriter, checkpoint, canon string, compute func(e *Entry) (any, error)) {
+	cache := s.reg.cache
+	err := s.reg.WithEntry(checkpoint, func(e *Entry) error {
+		if cache != nil {
+			if blob, ok := cache.get(entryKey(e, canon)); ok {
+				w.Header().Set("X-Cache", "hit")
+				writeBlob(w, http.StatusOK, blob)
+				return nil
+			}
+		}
+		if !s.reg.adm.allow() {
+			return errShedOverload
+		}
+		v, err := compute(e)
+		if err != nil {
+			return err
+		}
+		blob, err := json.Marshal(v)
+		if err != nil {
+			return internalErr(fmt.Errorf("serve: encode response: %w", err))
+		}
+		if cache != nil {
+			cache.put(entryKey(e, canon), blob)
+			w.Header().Set("X-Cache", "miss")
+		}
+		writeBlob(w, http.StatusOK, blob)
+		return nil
+	})
+	if err != nil {
+		s.writeQueryError(w, err)
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -200,13 +282,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // not receive new traffic.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining.Load()
+	shedding := s.reg.adm.Shedding()
 	loads := s.reg.Loads()
-	ready := loads > 0 && !draining
+	// Shedding flips readiness too: a load balancer that steers new
+	// connections elsewhere is the gentlest form of backpressure, and the
+	// verdict decays within one shed window once the queue drains (Shedding
+	// rotates the signal window, so probes alone are enough to recover).
+	ready := loads > 0 && !draining && !shedding
 	status := http.StatusOK
 	if !ready {
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, map[string]any{"ready": ready, "loads": loads, "draining": draining})
+	writeJSON(w, status, map[string]any{
+		"ready": ready, "loads": loads, "draining": draining, "shedding": shedding,
+	})
 }
 
 type modelInfo struct {
@@ -263,26 +352,35 @@ type perplexityResponse struct {
 
 func (s *Server) handlePerplexity(w http.ResponseWriter, r *http.Request) {
 	var req perplexityRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	// Negative dimensions would sail past the == 0 default substitutions
+	// below; reject them by name before any checkpoint work happens.
+	if req.Batches < 0 || req.Batch < 0 || req.Seq < 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: batches %d, batch %d and seq %d must be non-negative (0 selects the default)",
+				req.Batches, req.Batch, req.Seq))
 		return
 	}
 	if req.Batches == 0 {
 		req.Batches = 4
 	}
-	var resp perplexityResponse
-	err := s.reg.WithEntry(req.Checkpoint, func(e *Entry) error {
-		b, t := req.Batch, req.Seq
-		if b == 0 {
-			b = 8
-		}
-		if t == 0 {
-			t = 32
-		}
-		loss, err := e.Perplexity(req.Batches, b, t)
+	if req.Batch == 0 {
+		req.Batch = 8
+	}
+	if req.Seq == 0 {
+		req.Seq = 32
+	}
+	// Canonicalized after default substitution, so an explicit {4, 8, 32}
+	// and an all-defaults query share one cache entry.
+	canon := fmt.Sprintf("ppl|%d|%d|%d", req.Batches, req.Batch, req.Seq)
+	s.serveQuery(w, req.Checkpoint, canon, func(e *Entry) (any, error) {
+		loss, err := e.Perplexity(req.Batches, req.Batch, req.Seq)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		resp = perplexityResponse{
+		resp := perplexityResponse{
 			Checkpoint: e.Path, Step: e.Step, Optimizer: e.Optimizer,
 			Batches: req.Batches, Loss: loss, LossText: exact(loss),
 		}
@@ -292,13 +390,8 @@ func (s *Server) handlePerplexity(w http.ResponseWriter, r *http.Request) {
 		if math.IsInf(resp.PPL, 1) {
 			resp.PPL = math.MaxFloat64
 		}
-		return nil
+		return resp, nil
 	})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 type logProbRequest struct {
@@ -316,23 +409,16 @@ type logProbResponse struct {
 
 func (s *Server) handleLogProb(w http.ResponseWriter, r *http.Request) {
 	var req logProbRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	var resp logProbResponse
-	err := s.reg.WithEntry(req.Checkpoint, func(e *Entry) error {
+	s.serveQuery(w, req.Checkpoint, logProbCanon(req.Context, req.Option), func(e *Entry) (any, error) {
 		lp, err := e.LogProb(req.Context, req.Option)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		resp = logProbResponse{Checkpoint: e.Path, Step: e.Step, LogProb: lp, LogProbText: exact(lp)}
-		return nil
+		return logProbResponse{Checkpoint: e.Path, Step: e.Step, LogProb: lp, LogProbText: exact(lp)}, nil
 	})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 type zeroShotItem struct {
@@ -363,22 +449,56 @@ type zeroShotResponse struct {
 	Tasks        []zeroShotTask `json:"tasks,omitempty"`
 }
 
+// logProbCanon renders the canonical cache encoding of a logprob query.
+func logProbCanon(context, option []int) string {
+	var b strings.Builder
+	b.WriteString("lp|")
+	canonInts(&b, context)
+	b.WriteByte('|')
+	canonInts(&b, option)
+	return b.String()
+}
+
+// zeroShotCanon renders the canonical cache encoding of a zero-shot query.
+// Every field is length-prefixed or delimited so distinct queries cannot
+// collide.
+func zeroShotCanon(req *zeroShotRequest) string {
+	var b strings.Builder
+	if req.SuiteSeed > 0 {
+		fmt.Fprintf(&b, "zs|suite|%d|%d", req.SuiteSeed, req.ItemsPerTask)
+		return b.String()
+	}
+	b.WriteString("zs|items|")
+	for _, it := range req.Items {
+		canonInts(&b, it.Context)
+		b.WriteByte('>')
+		b.WriteString(strconv.Itoa(len(it.Options)))
+		b.WriteByte(':')
+		for _, opt := range it.Options {
+			canonInts(&b, opt)
+			b.WriteByte(';')
+		}
+		b.WriteString(strconv.Itoa(it.Answer))
+		b.WriteByte('#')
+	}
+	return b.String()
+}
+
 func (s *Server) handleZeroShot(w http.ResponseWriter, r *http.Request) {
 	var req zeroShotRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	var resp zeroShotResponse
-	err := s.reg.WithEntry(req.Checkpoint, func(e *Entry) error {
-		resp = zeroShotResponse{Checkpoint: e.Path, Step: e.Step}
+	s.serveQuery(w, req.Checkpoint, zeroShotCanon(&req), func(e *Entry) (any, error) {
+		resp := zeroShotResponse{Checkpoint: e.Path, Step: e.Step}
 		if req.SuiteSeed > 0 {
 			if s.reg.cfg.Corpus == nil {
-				return fmt.Errorf("serve: suite queries need a configured corpus")
+				return nil, fmt.Errorf("serve: suite queries need a configured corpus")
 			}
 			// Bounded like every other generation knob: item generation runs
 			// on the handler goroutine before any batcher check could bite.
 			if req.ItemsPerTask < 0 || req.ItemsPerTask > 1000 {
-				return fmt.Errorf("serve: items_per_task %d outside [0, 1000]", req.ItemsPerTask)
+				return nil, fmt.Errorf("serve: items_per_task %d outside [0, 1000]", req.ItemsPerTask)
 			}
 			src := s.reg.cfg.Corpus.Source()
 			var sum float64
@@ -388,38 +508,33 @@ func (s *Server) handleZeroShot(w http.ResponseWriter, r *http.Request) {
 				}
 				acc, err := e.ZeroShot(data.GenerateMCTask(src, cfg))
 				if err != nil {
-					return err
+					return nil, err
 				}
 				resp.Tasks = append(resp.Tasks, zeroShotTask{Task: cfg.Name, Accuracy: acc})
 				sum += acc
 			}
 			resp.Accuracy = sum / float64(len(resp.Tasks))
 			resp.AccuracyText = exact(resp.Accuracy)
-			return nil
+			return resp, nil
 		}
 		if len(req.Items) == 0 {
-			return fmt.Errorf("serve: zeroshot needs items or suite_seed")
+			return nil, fmt.Errorf("serve: zeroshot needs items or suite_seed")
 		}
 		items := make([]data.MCItem, len(req.Items))
 		for i, it := range req.Items {
 			if it.Answer < 0 || it.Answer >= len(it.Options) {
-				return fmt.Errorf("serve: item %d answer %d out of range", i, it.Answer)
+				return nil, fmt.Errorf("serve: item %d answer %d out of range", i, it.Answer)
 			}
 			items[i] = data.MCItem{Context: it.Context, Options: it.Options, Answer: it.Answer}
 		}
 		acc, err := e.ZeroShot(items)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		resp.Accuracy = acc
 		resp.AccuracyText = exact(acc)
-		return nil
+		return resp, nil
 	})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 type fineTuneTask struct {
@@ -454,7 +569,7 @@ type fineTuneResponse struct {
 
 func (s *Server) handleFineTune(w http.ResponseWriter, r *http.Request) {
 	var req fineTuneRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if s.reg.cfg.Corpus == nil {
@@ -476,6 +591,20 @@ func (s *Server) handleFineTune(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Epochs < 0 || req.Epochs > 20 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: epochs must be in [0, 20]"))
+		return
+	}
+	// A negative batch would slip past FineTune's own == 0 defaulting the
+	// same way negative perplexity dims used to; bound it like epochs.
+	if req.Batch < 0 || req.Batch > 1024 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: finetune batch %d outside [0, 1024] (0 selects the default)", req.Batch))
+		return
+	}
+	// Fine-tune runs are never cached (callers vary seeds expecting fresh
+	// training), but they are the heaviest compute the service does, so they
+	// respect admission control like any cache miss.
+	if !s.reg.adm.allow() {
+		s.writeQueryError(w, errShedOverload)
 		return
 	}
 	var resp fineTuneResponse
@@ -514,7 +643,7 @@ func (s *Server) handleFineTune(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -3,8 +3,12 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io/fs"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"testing"
@@ -176,35 +180,96 @@ func TestHTTPFineTuneAndModels(t *testing.T) {
 	}
 }
 
+// TestHTTPErrors pins the status contract per failure class: caller
+// mistakes are 400, a checkpoint path the service cannot see is 404, a file
+// the service owns but cannot load is 500, an oversized body is 413.
 func TestHTTPErrors(t *testing.T) {
 	ts, path, _ := newTestServer(t, Config{})
+
+	// A file that exists and stats fine but is not a checkpoint: the load
+	// itself fails, which is the service's 500, not the caller's 400.
+	garbage := filepath.Join(t.TempDir(), "garbage.ckpt")
+	if err := os.WriteFile(garbage, []byte("not a checkpoint at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
 	cases := []struct {
 		name string
 		url  string
 		req  any
+		want int
 	}{
-		{"missing checkpoint", "/v1/perplexity", perplexityRequest{Checkpoint: "/does/not/exist"}},
-		{"bad token", "/v1/logprob", logProbRequest{Checkpoint: path, Context: []int{1}, Option: []int{9999}}},
-		{"no items", "/v1/zeroshot", zeroShotRequest{Checkpoint: path}},
+		{"missing checkpoint", "/v1/perplexity", perplexityRequest{Checkpoint: "/does/not/exist"}, http.StatusNotFound},
+		{"corrupt checkpoint", "/v1/perplexity", perplexityRequest{Checkpoint: garbage}, http.StatusInternalServerError},
+		{"bad token", "/v1/logprob", logProbRequest{Checkpoint: path, Context: []int{1}, Option: []int{9999}}, http.StatusBadRequest},
+		{"no items", "/v1/zeroshot", zeroShotRequest{Checkpoint: path}, http.StatusBadRequest},
 		{"bad answer", "/v1/zeroshot", zeroShotRequest{Checkpoint: path,
-			Items: []zeroShotItem{{Options: [][]int{{1}}, Answer: 5}}}},
-		{"bad task", "/v1/finetune", fineTuneRequest{Checkpoint: path}},
+			Items: []zeroShotItem{{Options: [][]int{{1}}, Answer: 5}}}, http.StatusBadRequest},
+		{"bad task", "/v1/finetune", fineTuneRequest{Checkpoint: path}, http.StatusBadRequest},
 		{"negative ctx_len", "/v1/finetune", fineTuneRequest{Checkpoint: path,
-			Task: fineTuneTask{Train: 1, Test: 1, CtxLen: -1, Classes: 2}}},
+			Task: fineTuneTask{Train: 1, Test: 1, CtxLen: -1, Classes: 2}}, http.StatusBadRequest},
 		{"unbounded items_per_task", "/v1/zeroshot", zeroShotRequest{Checkpoint: path,
-			SuiteSeed: 1, ItemsPerTask: 1 << 30}},
-		{"negative batches", "/v1/perplexity", perplexityRequest{Checkpoint: path, Batches: -1}},
-		{"unknown field", "/v1/perplexity", map[string]any{"checkpoint": path, "nope": 1}},
+			SuiteSeed: 1, ItemsPerTask: 1 << 30}, http.StatusBadRequest},
+		{"negative batches", "/v1/perplexity", perplexityRequest{Checkpoint: path, Batches: -1}, http.StatusBadRequest},
+		{"negative batch", "/v1/perplexity", perplexityRequest{Checkpoint: path, Batch: -8}, http.StatusBadRequest},
+		{"negative seq", "/v1/perplexity", perplexityRequest{Checkpoint: path, Seq: -32}, http.StatusBadRequest},
+		{"negative finetune batch", "/v1/finetune", fineTuneRequest{Checkpoint: path,
+			Task: fineTuneTask{Train: 1, Test: 1, CtxLen: 4, Classes: 2}, Batch: -1}, http.StatusBadRequest},
+		{"unknown field", "/v1/perplexity", map[string]any{"checkpoint": path, "nope": 1}, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		status, raw := postJSON(t, ts.URL+tc.url, tc.req, nil)
-		if status != http.StatusBadRequest {
-			t.Fatalf("%s: status %d (%s), want 400", tc.name, status, raw)
+		if status != tc.want {
+			t.Fatalf("%s: status %d (%s), want %d", tc.name, status, raw, tc.want)
 		}
 		var er errorResponse
 		if err := json.Unmarshal([]byte(raw), &er); err != nil || er.Error == "" {
 			t.Fatalf("%s: malformed error body %q", tc.name, raw)
 		}
+	}
+}
+
+// TestHTTPStatusMapping drives httpStatus directly: every error class the
+// serve layer produces lands on its documented status.
+func TestHTTPStatusMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, http.StatusOK},
+		{"validation", fmt.Errorf("serve: tokens out of vocab"), http.StatusBadRequest},
+		{"not exist", &os.PathError{Op: "stat", Path: "/x", Err: fs.ErrNotExist}, http.StatusNotFound},
+		{"permission", fmt.Errorf("open: %w", fs.ErrPermission), http.StatusNotFound},
+		{"queue full", errQueueFull, http.StatusTooManyRequests},
+		{"shed overload", errShedOverload, http.StatusTooManyRequests},
+		{"wrapped queue full", fmt.Errorf("submit: %w", errQueueFull), http.StatusTooManyRequests},
+		{"superseded", errClosed, http.StatusServiceUnavailable},
+		{"internal", internalErr(fmt.Errorf("decode failed")), http.StatusInternalServerError},
+		{"wrapped internal", fmt.Errorf("load: %w", internalErr(fmt.Errorf("bad magic"))), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := httpStatus(tc.err); got != tc.want {
+			t.Errorf("%s: httpStatus = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestHTTPBodyLimit: a body over Config.MaxBodyBytes answers 413 before any
+// checkpoint work happens.
+func TestHTTPBodyLimit(t *testing.T) {
+	ts, path, _ := newTestServer(t, Config{MaxBodyBytes: 512})
+
+	huge := logProbRequest{Checkpoint: path, Context: make([]int, 4096), Option: []int{1}}
+	status, raw := postJSON(t, ts.URL+"/v1/logprob", huge, nil)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d (%s), want 413", status, raw)
+	}
+
+	// A body under the cap still works.
+	small := logProbRequest{Checkpoint: path, Context: []int{1, 2}, Option: []int{3}}
+	if status, raw := postJSON(t, ts.URL+"/v1/logprob", small, nil); status != http.StatusOK {
+		t.Fatalf("small body: status %d (%s), want 200", status, raw)
 	}
 }
 

@@ -34,7 +34,9 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 	"os"
 	"sort"
@@ -69,6 +71,25 @@ type Config struct {
 	// MaxBatch caps how many scoring sequences coalesce into one batched
 	// forward. Default 8.
 	MaxBatch int
+	// CacheEntries bounds the response cache (LRU by entry count) that
+	// memoizes marshaled scoring responses keyed by (snapshot load sequence,
+	// canonical query) — a hot reload bumps the sequence, so stale entries
+	// die for free. 0 selects the default 4096; negative disables caching.
+	CacheEntries int
+	// MaxQueue bounds each snapshot executor's pending queue; submissions
+	// beyond it are refused and surface as HTTP 429. 0 selects the default
+	// 256; negative leaves the queue unbounded (the pre-admission behavior).
+	MaxQueue int
+	// ShedThreshold enables load shedding: when the queue-wait p95 over the
+	// last ShedWindow exceeds it, new compute queries are refused with 429
+	// (cache hits still serve) and /readyz reports backpressure. 0 disables.
+	ShedThreshold time.Duration
+	// ShedWindow is the rotation interval of the live p95 readout feeding
+	// the shed decision. Default 1s.
+	ShedWindow time.Duration
+	// MaxBodyBytes caps accepted request bodies; larger requests answer 413
+	// instead of letting a hostile client exhaust memory. Default 1 MiB.
+	MaxBodyBytes int64
 	// Metrics, when set, receives the service's counters and histograms —
 	// registry cache behavior (hits/loads/hot-reloads/evictions, per-path
 	// generation gauge), batcher coalescing (queue wait, batch size) and
@@ -92,6 +113,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch < 1 {
 		c.MaxBatch = 8
 	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 256
+	}
+	if c.ShedWindow <= 0 {
+		c.ShedWindow = time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
 	return c
 }
 
@@ -108,6 +141,7 @@ type Entry struct {
 	LoadedAt   time.Time
 
 	fi      os.FileInfo // stat at load time: mtime, size and (via os.SameFile) inode
+	loadSeq int64       // registry-global load sequence: the response-cache invalidation tag
 	model   *nn.Model
 	batcher *batcher
 	corpus  *data.Corpus
@@ -268,6 +302,9 @@ type Registry struct {
 
 	om *registryMetrics // nil when Config.Metrics is nil
 	bm *batcherMetrics  // shared by every entry's batcher; nil likewise
+
+	cache *responseCache // nil when CacheEntries < 0
+	adm   *admission     // nil when ShedThreshold == 0
 }
 
 // NewRegistry builds a registry for one served architecture.
@@ -277,7 +314,21 @@ func NewRegistry(cfg Config) (*Registry, error) {
 	}
 	r := &Registry{cfg: cfg.withDefaults(), slots: map[string]*slot{}}
 	r.om = newRegistryMetrics(r)
-	r.bm = newBatcherMetrics(r.cfg.Metrics)
+	// The shed verdict reads the batcher queue-wait histogram, so that
+	// signal must exist even when the caller wired no metrics registry: an
+	// unscraped private one costs a few KB and keeps one instrumentation
+	// path instead of two.
+	bmReg := r.cfg.Metrics
+	if bmReg == nil && r.cfg.ShedThreshold > 0 {
+		bmReg = obs.NewRegistry()
+	}
+	r.bm = newBatcherMetrics(bmReg)
+	if r.cfg.ShedThreshold > 0 {
+		r.adm = newAdmission(r.cfg.ShedThreshold, r.cfg.ShedWindow, r.bm.queueWait, bmReg)
+	}
+	if r.cfg.CacheEntries > 0 {
+		r.cache = newResponseCache(r.cfg.CacheEntries, r.cfg.Metrics)
+	}
 	return r, nil
 }
 
@@ -437,17 +488,27 @@ func (r *Registry) Entries() []*Entry {
 func (r *Registry) load(path string, fi os.FileInfo) (*Entry, error) {
 	snap, err := ckpt.LoadModelFile(path)
 	if err != nil {
-		return nil, err
+		// A vanished or unreadable path is the caller naming a checkpoint
+		// the service cannot see (404, like a failed stat); anything else —
+		// truncated file, bad magic, decode failure — is a file the service
+		// owns but cannot serve (500).
+		if errors.Is(err, fs.ErrNotExist) || errors.Is(err, fs.ErrPermission) {
+			return nil, err
+		}
+		return nil, internalErr(fmt.Errorf("serve: load %s: %w", path, err))
 	}
 	model := nn.NewModel(r.cfg.Model, tensor.NewRNG(1))
 	if err := snap.InstallWeights(model.Params().List()); err != nil {
-		return nil, fmt.Errorf("serve: %s does not match the served architecture: %w", path, err)
+		return nil, internalErr(fmt.Errorf("serve: %s does not match the served architecture: %w", path, err))
 	}
 	// Eval-only: free the gradient accumulators; the snapshot's own weight
 	// copies are garbage after InstallWeights. Resident cost from here on
 	// is one set of fp32 weights (memmodel.ServeBytes).
 	model.Params().FreeGrads()
-	r.loads.Add(1)
+	mq := r.cfg.MaxQueue
+	if mq < 0 {
+		mq = 0 // negative config = explicitly unbounded
+	}
 	return &Entry{
 		Path:      path,
 		Optimizer: snap.Optimizer,
@@ -455,8 +516,9 @@ func (r *Registry) load(path string, fi os.FileInfo) (*Entry, error) {
 		LR:        snap.LR,
 		LoadedAt:  time.Now(),
 		fi:        fi,
+		loadSeq:   r.loads.Add(1),
 		model:     model,
-		batcher:   newBatcher(model, r.cfg.MaxBatch, r.bm),
+		batcher:   newBatcher(model, r.cfg.MaxBatch, mq, r.bm),
 		corpus:    r.cfg.Corpus,
 	}, nil
 }

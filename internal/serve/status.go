@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"errors"
+	"io/fs"
+	"net/http"
+)
+
+// statusError pins an HTTP status to an error at the layer that knows its
+// cause: the registry marks load/decode failures 500 (the path resolved to
+// a file the service itself could not serve), the batcher marks executor
+// panics 500. Everything the mapping below cannot classify is a caller
+// mistake and stays 400.
+type statusError struct {
+	status int
+	err    error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+// internalErr wraps err as a 500.
+func internalErr(err error) error {
+	return &statusError{status: http.StatusInternalServerError, err: err}
+}
+
+// httpStatus maps a query error to its response status:
+//
+//	nil                             → 200
+//	explicit statusError            → its status (500: load/executor failures)
+//	fs.ErrNotExist / ErrPermission  → 404 (unknown or unreadable checkpoint path)
+//	errQueueFull / errShedOverload  → 429 (admission control; Retry-After is set)
+//	errClosed                       → 503 (snapshot superseded mid-retry; safe to retry)
+//	anything else                   → 400 (request validation)
+func httpStatus(err error) int {
+	var se *statusError
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.As(err, &se):
+		return se.status
+	case errors.Is(err, fs.ErrNotExist), errors.Is(err, fs.ErrPermission):
+		return http.StatusNotFound
+	case errors.Is(err, errQueueFull), errors.Is(err, errShedOverload):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
