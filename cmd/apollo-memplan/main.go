@@ -6,15 +6,27 @@
 //	apollo-memplan -model 7B -method APOLLO-Mini -int8 -layerwise -ckpt
 //	apollo-memplan -model 13B -method AdamW -seq 256
 //	apollo-memplan -model 7B -method AdamW -zero 8   # ZeRO-sharded states
+//	apollo-memplan -model 60M -method APOLLO -run-dir runs/<id>
+//
+// -run-dir joins a run's recorded memory timeline (mem.jsonl, written by
+// apollo-pretrain) against the plan: recorded component peaks line up next
+// to the analytic rows, and components the run predicted for themselves
+// (via memmodel.StateElems over the live shapes) show their measured-vs-
+// predicted delta. Note the scales differ by design — the plan prices the
+// paper-scale model, while runs record the shrunken proxy — so the joined
+// view answers "did the accounting hold" (the delta column), not "did the
+// proxy reach paper size".
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"apollo/internal/cluster"
 	"apollo/internal/memmodel"
+	"apollo/internal/obs/runlog"
 )
 
 func main() {
@@ -28,6 +40,7 @@ func main() {
 		layerwise = flag.Bool("layerwise", false, "layer-wise gradient updates")
 		ckpt      = flag.Bool("ckpt", false, "full activation checkpointing")
 		zeroWorld = flag.Int("zero", 0, "ZeRO-shard optimizer states across N replicas (0 = unsharded)")
+		runDir    = flag.String("run-dir", "", "join this run directory's recorded mem.jsonl peaks against the plan")
 	)
 	flag.Parse()
 
@@ -75,6 +88,63 @@ func main() {
 		}
 		fmt.Printf("  %-14s (%.0f GB): %s\n", dev.Name, dev.MemBytes/1e9, verdict)
 	}
+
+	if *runDir != "" {
+		if err := joinRun(*runDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// joinRun prints the recorded side of the predicted-vs-actual join: the run
+// directory's mem.jsonl component peaks, each with the analytic prediction
+// the run recorded for itself (if any) and the measured-vs-predicted delta.
+func joinRun(dir string) error {
+	rd, err := runlog.LoadDir(dir)
+	if err != nil {
+		return err
+	}
+	if len(rd.Mem) == 0 {
+		return fmt.Errorf("%s has no memory timeline (%s) — rerun apollo-pretrain with a run ledger", dir, runlog.MemFile)
+	}
+	type peakInfo struct {
+		bytes     int64
+		predicted float64
+	}
+	peaks := map[string]peakInfo{}
+	for _, s := range rd.Mem {
+		for comp, v := range s.Components {
+			p := peaks[comp]
+			if v >= p.bytes {
+				p.bytes = v
+				if pred, ok := s.Predicted[comp]; ok {
+					p.predicted = pred
+				}
+			}
+			peaks[comp] = p
+		}
+	}
+	names := make([]string, 0, len(peaks))
+	for comp := range peaks {
+		names = append(names, comp)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("\nrecorded run %s (%s, %d samples):\n", rd.Manifest.ID, rd.Manifest.Optimizer, len(rd.Mem))
+	for _, comp := range names {
+		p := peaks[comp]
+		line := fmt.Sprintf("  %-24s %10.4f MiB peak", comp, float64(p.bytes)/(1<<20))
+		if p.predicted > 0 {
+			line += fmt.Sprintf("  predicted %10.4f MiB  delta %+.2f%%",
+				p.predicted/(1<<20), 100*(float64(p.bytes)-p.predicted)/p.predicted)
+		}
+		fmt.Println(line)
+	}
+	if peak, ok := rd.MemPeak(); ok {
+		fmt.Printf("  %-24s %10.4f MiB peak (step %d)\n", "ledger total", float64(peak.TotalBytes)/(1<<20), peak.Step)
+	}
+	return nil
 }
 
 func effRank(cfg memmodel.LLaMAConfig, rank int) int {

@@ -54,7 +54,9 @@ import (
 
 	"apollo/internal/bench"
 	"apollo/internal/ckpt"
+	"apollo/internal/memmodel"
 	"apollo/internal/obs"
+	"apollo/internal/obs/memprof"
 	"apollo/internal/obs/runlog"
 	"apollo/internal/optim"
 	rt "apollo/internal/runtime"
@@ -85,6 +87,8 @@ func main() {
 		haltDiv  = flag.Bool("halt-on-divergence", false, "abort the run when the watchdog sees NaN/Inf or a loss spike (exit 3)")
 		spikeF   = flag.Float64("spike-factor", 0, "watchdog: alert when loss exceeds this × trailing median (0 = default 3)")
 		wdWindow = flag.Int("watchdog-window", 0, "watchdog: trailing median window in steps (0 = default 32)")
+		memEvery = flag.Int("mem-every", 1, "memory-timeline sampling stride in steps (0 disables; needs a run ledger)")
+		memHW    = flag.Int64("mem-highwater", 0, "heap high-water mark in bytes: crossing it captures a heap profile into the run dir (0 disables)")
 	)
 	flag.Parse()
 
@@ -140,6 +144,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	methodName := opt.Name() // canonical name before any ZeRO wrapping
 	if *zeroOpt {
 		opt = zero.NewSharded(func() optim.Optimizer {
 			o, err := bench.BuildOptimizer(*method, proxy.LR, r, *seed)
@@ -189,6 +194,35 @@ func main() {
 		}()
 	}
 
+	// Live memory accounting rides on the ledger: the timeline lands next to
+	// steps.jsonl and heap profiles land in the run dir. The component ledger
+	// is fed by the training loop; the analytic memmodel prediction for the
+	// optimizer state is attached here so every sample carries its own
+	// measured-vs-predicted delta. Methods without a memmodel row (plain
+	// SGD-family baselines) just record measurements without a prediction.
+	var mp *memprof.Profiler
+	if ledger != nil && *memEvery > 0 {
+		mp = memprof.New(memprof.Config{
+			Out:         ledger.MemWriter(),
+			SampleEvery: *memEvery,
+			HighWater:   *memHW,
+			ProfileDir:  ledger.Dir(),
+		})
+		if mm, err := memmodel.MethodByName(methodName); err == nil {
+			shapes := bench.ShapesOf(model.Params().List())
+			predicted := memmodel.StateElems(shapes, mm, r) * memmodel.BytesFP32
+			if *zeroOpt {
+				// ZeRO partitions the same state across the world —
+				// the ShardedOptimizerStateBytes rule, per shard.
+				for s := 0; s < *replicas; s++ {
+					mp.Predict(memprof.ShardComponent(s), predicted/float64(*replicas))
+				}
+			} else {
+				mp.Predict(memprof.CompOptimizerState, predicted)
+			}
+		}
+	}
+
 	startStep := 0
 	if *resume != "" {
 		st, err := ckpt.LoadFile(*resume)
@@ -212,6 +246,7 @@ func main() {
 		Accum:     *accum,
 		CkptEvery: *ckptEach, CkptPath: *save,
 		StartStep: startStep,
+		MemProf:   mp,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
@@ -247,6 +282,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "watchdog: step %d: %s (loss %g, median %g)\n",
 					ev.Step, ev.Kind, ev.Loss, ev.Median)
 				ledger.Alert(ev)
+				// Flight recorder: a health alert is exactly the moment a
+				// heap snapshot is worth its disk — capture one (bounded by
+				// the profiler's MaxProfiles cap).
+				if path := mp.CaptureHeapProfile("watchdog-" + ev.Kind); path != "" {
+					fmt.Fprintf(os.Stderr, "watchdog: heap profile → %s\n", path)
+				}
 			},
 		})
 	}
@@ -294,6 +335,11 @@ func main() {
 			fail("final checkpoint:", err)
 		}
 		fmt.Printf("final checkpoint → %s\n", *save)
+	}
+	if peak := mp.Peak(); peak.TotalBytes > 0 {
+		fmt.Printf("memory peak: ledger %s (heap in-use %s) at step %d — timeline in %s\n",
+			train.FormatBytes(peak.TotalBytes), train.FormatBytes(int64(peak.HeapInuse)),
+			peak.Step, runlog.MemFile)
 	}
 	ledger.Finalize(runlog.StatusOK, fin)
 	fmt.Printf("\nfinal: %s\n", res.String())

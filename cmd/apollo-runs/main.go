@@ -8,6 +8,7 @@
 //	apollo-runs show <id>                  # one run's manifest, alerts, final metrics
 //	apollo-runs diff <idA> <idB>           # align two runs step-by-step
 //	apollo-runs diff -baseline DIR <id>    # compare a run against a committed baseline dir
+//	apollo-runs mem <id>                   # render a run's memory timeline (mem.jsonl)
 //	apollo-runs gc -keep 20 -age 720h      # prune old entries
 //	apollo-runs watch <id>                 # live-tail a run's step stream
 //	apollo-runs watch -telemetry f.jsonl   # tail a bare -telemetry file instead
@@ -17,10 +18,14 @@
 // parsing stops at the first non-flag).
 //
 // diff is the CI regression gate: it reports the first loss-divergence step,
-// loss deltas at checkpoints, phase-time breakdown deltas, and step-wall
-// p50/p95, then exits 1 when the loss gate (-loss-tol, default 0 =
-// bit-exact) or the opt-in time gate (-time-tol, fraction; 0 disables)
-// trips. watch polls a growing steps.jsonl by byte offset — safe against
+// loss deltas at checkpoints, phase-time breakdown deltas, step-wall
+// p50/p95, and peak ledger memory, then exits 1 when the loss gate
+// (-loss-tol, default 0 = bit-exact), the opt-in time gate (-time-tol,
+// fraction; 0 disables), or the opt-in memory gate (-mem-tol, fraction over
+// the baseline's peak ledger bytes; 0 disables) trips. mem renders the
+// memory timeline apollo-pretrain records (component peaks against their
+// memmodel predictions, heap/RSS peaks, high-water marks). watch polls a
+// growing steps.jsonl by byte offset — safe against
 // torn tail lines — and can additionally scrape a Prometheus /metrics
 // endpoint, reporting request rates and latency quantiles interpolated from
 // the cumulative histogram buckets.
@@ -62,6 +67,8 @@ func main() {
 		err = cmdShow(*root, args[1:])
 	case "diff":
 		err = cmdDiff(*root, args[1:])
+	case "mem":
+		err = cmdMem(*root, args[1:])
 	case "gc":
 		err = cmdGC(*root, args[1:])
 	case "watch":
@@ -83,8 +90,9 @@ func usage() {
 commands:
   list    [-q]                                      list runs (oldest first)
   show    <id>                                      one run in detail
-  diff    [-loss-tol F] [-time-tol F] [-baseline DIR] <idA> [<idB>]
+  diff    [-loss-tol F] [-time-tol F] [-mem-tol F] [-baseline DIR] <idA> [<idB>]
                                                     align two runs; exit 1 on gate failure
+  mem     [-rows N] <id|dir>                        render a run's memory timeline
   gc      [-keep N] [-age DUR] [-n]                 prune old runs
   watch   [-interval DUR] [-n N] [-metrics URL] [-telemetry FILE] [<id>]
                                                     live-tail a run
@@ -182,6 +190,7 @@ func cmdDiff(root string, args []string) error {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	lossTol := fs.Float64("loss-tol", 0, "max |Δloss| per aligned step (0 = bit-exact)")
 	timeTol := fs.Float64("time-tol", 0, "max fractional p50 step-wall regression (0 disables the time gate)")
+	memTol := fs.Float64("mem-tol", 0, "max fractional peak-ledger-memory regression (0 disables the memory gate)")
 	baseline := fs.String("baseline", "", "baseline run directory (A side); compare one run ID against it")
 	ckpts := fs.Int("checkpoints", 0, "loss checkpoints to print (0 = default 10)")
 	fs.Parse(args)
@@ -206,12 +215,132 @@ func cmdDiff(root string, args []string) error {
 	default:
 		return fmt.Errorf("diff needs two run IDs, or -baseline DIR plus one run ID")
 	}
-	rep := runlog.Diff(a, b, runlog.DiffOptions{LossTol: *lossTol, TimeTol: *timeTol, Checkpoints: *ckpts})
+	rep := runlog.Diff(a, b, runlog.DiffOptions{LossTol: *lossTol, TimeTol: *timeTol, MemTol: *memTol, Checkpoints: *ckpts})
 	rep.Write(os.Stdout)
 	if rep.Failed() {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// cmdMem renders a run's memory timeline (mem.jsonl): per-component peaks
+// with their analytic predictions, process-level peaks, and a sampled view
+// of the timeline itself. Accepts a ledger run ID or a bare run directory
+// (e.g. a committed CI baseline).
+func cmdMem(root string, args []string) error {
+	fs := flag.NewFlagSet("mem", flag.ExitOnError)
+	rows := fs.Int("rows", 10, "timeline rows to print (0 = all)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("mem needs exactly one run ID or directory")
+	}
+	var rd *runlog.RunData
+	var err error
+	if st, serr := os.Stat(fs.Arg(0)); serr == nil && st.IsDir() {
+		rd, err = runlog.LoadDir(fs.Arg(0))
+	} else {
+		rd, err = runlog.Load(root, fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+	if len(rd.Mem) == 0 {
+		return fmt.Errorf("run %s has no memory timeline (%s)", rd.Manifest.ID, runlog.MemFile)
+	}
+
+	first, last := rd.Mem[0], rd.Mem[len(rd.Mem)-1]
+	span := time.Duration(last.UnixUS-first.UnixUS) * time.Microsecond
+	fmt.Printf("run        %s\n", rd.Manifest.ID)
+	fmt.Printf("samples    %d over %s (steps %d..%d)\n", len(rd.Mem), span.Round(time.Millisecond), first.Step, last.Step)
+
+	// Per-component peaks, with the analytic prediction (from the sample
+	// where the component peaked) and its delta when one was recorded.
+	type peakInfo struct {
+		bytes     int64
+		predicted float64
+		hasPred   bool
+	}
+	peaks := map[string]peakInfo{}
+	for _, s := range rd.Mem {
+		for comp, v := range s.Components {
+			p := peaks[comp]
+			if v >= p.bytes {
+				p.bytes = v
+				if pred, ok := s.Predicted[comp]; ok {
+					p.predicted, p.hasPred = pred, true
+				}
+			}
+			peaks[comp] = p
+		}
+	}
+	fmt.Printf("components (peak):\n")
+	for _, comp := range sortedKeys(peaks) {
+		p := peaks[comp]
+		line := fmt.Sprintf("  %-24s %12s", comp, fmtBytes(p.bytes))
+		if p.hasPred && p.predicted > 0 {
+			line += fmt.Sprintf("  predicted %12s  delta %+.2f%%",
+				fmtBytes(int64(p.predicted)), 100*(float64(p.bytes)-p.predicted)/p.predicted)
+		}
+		fmt.Println(line)
+	}
+
+	peak, _ := rd.MemPeak()
+	fmt.Printf("peaks      ledger %s (step %d)", fmtBytes(peak.TotalBytes), peak.Step)
+	var heapMax, rssMax int64
+	for _, s := range rd.Mem {
+		heapMax = maxI64(heapMax, int64(s.HeapInuse))
+		rssMax = maxI64(rssMax, s.RSSBytes)
+	}
+	fmt.Printf("  heap in-use %s", fmtBytes(heapMax))
+	if rssMax > 0 {
+		fmt.Printf("  rss %s", fmtBytes(rssMax))
+	}
+	fmt.Println()
+	fmt.Printf("gc         %d cycles, %s total pause\n",
+		last.GCCycles, time.Duration(last.GCPauseNS).Round(time.Microsecond))
+
+	// Timeline: up to -rows evenly spaced samples, peaks flagged.
+	n := len(rd.Mem)
+	stride := 1
+	if *rows > 0 && n > *rows {
+		stride = (n + *rows - 1) / *rows
+	}
+	fmt.Printf("%8s %12s %12s %12s %s\n", "step", "ledger", "heap", "rss", "")
+	for i := 0; i < n; i += stride {
+		s := rd.Mem[i]
+		mark := ""
+		if s.HighWater {
+			mark = "  ← high water"
+		}
+		rss := "-"
+		if s.RSSBytes > 0 {
+			rss = fmtBytes(s.RSSBytes)
+		}
+		fmt.Printf("%8d %12s %12s %12s%s\n", s.Step, fmtBytes(s.TotalBytes), fmtBytes(int64(s.HeapInuse)), rss, mark)
+	}
+	return nil
+}
+
+// fmtBytes prints a byte count at a human scale (matches runlog's diff
+// rendering).
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func cmdGC(root string, args []string) error {

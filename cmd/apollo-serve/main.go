@@ -48,6 +48,7 @@ import (
 	"apollo/internal/ckpt"
 	"apollo/internal/nn"
 	"apollo/internal/obs"
+	"apollo/internal/obs/memprof"
 	rt "apollo/internal/runtime"
 	"apollo/internal/serve"
 	"apollo/internal/tensor"
@@ -74,6 +75,10 @@ func main() {
 		seq       = flag.Int("seq", 0, "validation sequence length (offline mode; 0 = proxy default)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		traceOut  = flag.String("trace", "", "append per-request trace spans to this JSONL file")
+		memOut    = flag.String("mem-timeline", "", "append memory-timeline samples to this JSONL file")
+		memEvery  = flag.Duration("mem-every", 10*time.Second, "wall-clock stride of the background memory sampler")
+		memHW     = flag.Int64("mem-highwater", 0, "heap high-water mark in bytes: crossing it captures a heap profile into -mem-profile-dir (0 disables)")
+		memProf   = flag.String("mem-profile-dir", ".", "directory for high-water heap profiles")
 	)
 	flag.Parse()
 
@@ -126,6 +131,28 @@ func main() {
 		tracer = obs.NewTracer(f)
 	}
 
+	// Live memory accounting: component gauges on /metrics always; the JSONL
+	// timeline and heap flight recorder when asked for. The registry wires in
+	// its serve_snapshots / batcher_buffers components via Config.MemProf.
+	memCfg := memprof.Config{
+		Registry:   metrics,
+		HighWater:  *memHW,
+		ProfileDir: *memProf,
+	}
+	if *memOut != "" {
+		memSink, err := os.OpenFile(*memOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		defer memSink.Close()
+		memCfg.Out = memSink // nil Out keeps gauges live without a timeline
+	}
+	mp := memprof.New(memCfg)
+	if *memEvery > 0 {
+		stop := mp.StartSampler(*memEvery)
+		defer stop()
+	}
+
 	// Flag semantics use 0 for "off"; the Config uses 0 for "default", so
 	// off maps to the negative sentinel.
 	cacheEntries, queueBound := *cacheEnt, *maxQueue
@@ -143,6 +170,7 @@ func main() {
 		ShedWindow:    time.Duration(*shedWinMS * float64(time.Millisecond)),
 		MaxBodyBytes:  *maxBody,
 		Metrics:       metrics, Tracer: tracer, Pprof: *pprofOn,
+		MemProf: mp,
 	}
 	reg, err := serve.NewRegistry(cfg)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 
 	"apollo/internal/obs"
 )
@@ -20,6 +21,13 @@ type DiffOptions struct {
 	// (0.25 = 25% slower). <= 0 disables the time gate — wall times from
 	// different hosts are not comparable.
 	TimeTol float64
+	// MemTol is the tolerated fractional peak-memory regression: the diff
+	// fails when B's peak ledger total (mem.jsonl TotalBytes, the
+	// shape-derived component sum — host-independent, unlike heap or RSS)
+	// exceeds A's by more than this fraction. One-directional: B using less
+	// memory than A never fails. <= 0 disables the gate; so does a baseline
+	// with no memory timeline (pre-memprof baselines keep passing).
+	MemTol float64
 	// Checkpoints is how many evenly spaced loss checkpoints to report
 	// (default 10; the final aligned step is always included).
 	Checkpoints int
@@ -63,14 +71,20 @@ type DiffReport struct {
 	WallP50A, WallP95A float64
 	WallP50B, WallP95B float64
 
+	// Peak ledger totals (mem.jsonl TotalBytes); 0 when a run has no
+	// memory timeline.
+	MemPeakA, MemPeakB int64
+
 	LossDiverged  bool // |Δ| > LossTol somewhere in the aligned range
 	TimeRegressed bool // p50B > p50A × (1 + TimeTol), when the gate is armed
+	MemRegressed  bool // peakB > peakA × (1 + MemTol), when the gate is armed
 	LossTol       float64
 	TimeTol       float64
+	MemTol        float64
 }
 
-// Failed reports whether either gate tripped.
-func (r *DiffReport) Failed() bool { return r.LossDiverged || r.TimeRegressed }
+// Failed reports whether any gate tripped.
+func (r *DiffReport) Failed() bool { return r.LossDiverged || r.TimeRegressed || r.MemRegressed }
 
 // Diff aligns two loaded runs: per-step loss deltas with first-divergence
 // step, loss checkpoints, phase-time breakdown deltas, and step-wall
@@ -85,7 +99,7 @@ func Diff(a, b *RunData, opt DiffOptions) *DiffReport {
 		IDA: a.Manifest.ID, IDB: b.Manifest.ID,
 		Steps: n, ExtraA: len(a.Steps) - n, ExtraB: len(b.Steps) - n,
 		FirstDivergence: -1,
-		LossTol:         opt.LossTol, TimeTol: opt.TimeTol,
+		LossTol:         opt.LossTol, TimeTol: opt.TimeTol, MemTol: opt.MemTol,
 	}
 	for i := 0; i < n; i++ {
 		la, lb := a.Steps[i].Loss, b.Steps[i].Loss
@@ -126,6 +140,15 @@ func Diff(a, b *RunData, opt DiffOptions) *DiffReport {
 	r.WallP50B, r.WallP95B = wallQuantiles(b.Steps)
 	if opt.TimeTol > 0 && r.WallP50A > 0 {
 		r.TimeRegressed = r.WallP50B > r.WallP50A*(1+opt.TimeTol)
+	}
+	if pa, ok := a.MemPeak(); ok {
+		r.MemPeakA = pa.TotalBytes
+	}
+	if pb, ok := b.MemPeak(); ok {
+		r.MemPeakB = pb.TotalBytes
+	}
+	if opt.MemTol > 0 && r.MemPeakA > 0 {
+		r.MemRegressed = float64(r.MemPeakB) > float64(r.MemPeakA)*(1+opt.MemTol)
 	}
 	return r
 }
@@ -227,14 +250,40 @@ func (r *DiffReport) Write(w io.Writer) {
 	}
 	fmt.Fprintf(w, "  step wall p50     A %.4fs  B %.4fs\n", r.WallP50A, r.WallP50B)
 	fmt.Fprintf(w, "  step wall p95     A %.4fs  B %.4fs\n", r.WallP95A, r.WallP95B)
-	switch {
-	case r.LossDiverged && r.TimeRegressed:
-		fmt.Fprintf(w, "  verdict: FAIL (loss divergence + step-time regression)\n")
-	case r.LossDiverged:
-		fmt.Fprintf(w, "  verdict: FAIL (loss divergence beyond tol %.6g)\n", r.LossTol)
-	case r.TimeRegressed:
-		fmt.Fprintf(w, "  verdict: FAIL (p50 step wall regressed beyond %.0f%%)\n", 100*r.TimeTol)
-	default:
+	if r.MemPeakA > 0 || r.MemPeakB > 0 {
+		fmt.Fprintf(w, "  mem peak (ledger) A %s  B %s", fmtBytes(r.MemPeakA), fmtBytes(r.MemPeakB))
+		if r.MemTol > 0 && r.MemPeakA > 0 {
+			fmt.Fprintf(w, "  (gate: B ≤ A × %.2f)", 1+r.MemTol)
+		}
+		fmt.Fprintln(w)
+	}
+	var fails []string
+	if r.LossDiverged {
+		fails = append(fails, fmt.Sprintf("loss divergence beyond tol %.6g", r.LossTol))
+	}
+	if r.TimeRegressed {
+		fails = append(fails, fmt.Sprintf("p50 step wall regressed beyond %.0f%%", 100*r.TimeTol))
+	}
+	if r.MemRegressed {
+		fails = append(fails, fmt.Sprintf("peak memory regressed beyond %.0f%%", 100*r.MemTol))
+	}
+	if len(fails) > 0 {
+		fmt.Fprintf(w, "  verdict: FAIL (%s)\n", strings.Join(fails, "; "))
+	} else {
 		fmt.Fprintf(w, "  verdict: PASS\n")
+	}
+}
+
+// fmtBytes renders byte counts human-first (diff/mem report cells).
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"apollo/internal/obs"
+	"apollo/internal/obs/memprof"
 )
 
 // RunData is one fully loaded ledger entry.
@@ -17,6 +18,7 @@ type RunData struct {
 	Manifest Manifest
 	Steps    []obs.StepEvent
 	Alerts   []AlertEvent
+	Mem      []memprof.Sample // memory timeline; empty when the run ran without memprof
 }
 
 // List reads every run manifest under root, sorted by start time (oldest
@@ -97,7 +99,32 @@ func LoadDir(dir string) (*RunData, error) {
 	}); err != nil {
 		return nil, fmt.Errorf("runlog: %s: %w", dir, err)
 	}
+	if err := readJSONL(filepath.Join(dir, MemFile), func(line []byte) error {
+		var s memprof.Sample
+		if err := json.Unmarshal(line, &s); err != nil {
+			return err
+		}
+		rd.Mem = append(rd.Mem, s)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("runlog: %s: %w", dir, err)
+	}
 	return rd, nil
+}
+
+// MemPeak returns the sample with the largest ledger total in a loaded
+// timeline (zero Sample, false when the run has no memory timeline).
+func (rd *RunData) MemPeak() (memprof.Sample, bool) {
+	if rd == nil || len(rd.Mem) == 0 {
+		return memprof.Sample{}, false
+	}
+	peak := rd.Mem[0]
+	for _, s := range rd.Mem[1:] {
+		if s.TotalBytes > peak.TotalBytes {
+			peak = s
+		}
+	}
+	return peak, true
 }
 
 // readJSONL streams a JSONL file line-by-line into fn. A missing file is

@@ -121,6 +121,7 @@ const (
 	ManifestFile = "manifest.json"
 	StepsFile    = "steps.jsonl"
 	AlertsFile   = "alerts.jsonl"
+	MemFile      = "mem.jsonl"
 )
 
 // runSeq disambiguates IDs minted within one timestamp tick by one process.
@@ -167,6 +168,7 @@ type Run struct {
 	alertW *obs.JSONLWriter
 
 	mu        sync.Mutex
+	mem       *os.File // lazily opened by MemWriter
 	alertN    int
 	finalized bool
 }
@@ -232,6 +234,30 @@ func (r *Run) StepsWriter() io.Writer {
 	return r.steps
 }
 
+// MemWriter returns an open mem.jsonl stream for a memprof.Profiler,
+// creating the file on first call — run directories of memprof-disabled runs
+// stay free of an empty mem.jsonl. Returns nil on a nil or finalized run, or
+// when the file cannot be created (the profiler treats a nil writer as
+// "no timeline", matching the rest of the disabled-mode contract).
+func (r *Run) MemWriter() io.Writer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.finalized {
+		return nil
+	}
+	if r.mem == nil {
+		f, err := os.Create(filepath.Join(r.dir, MemFile))
+		if err != nil {
+			return nil
+		}
+		r.mem = f
+	}
+	return r.mem
+}
+
 // Alert appends one structured alert to alerts.jsonl. The watchdog calls
 // this through its Emit hook; write failures are counted by the obs layer
 // (apollo_obs_write_errors_total), never dropped silently.
@@ -280,6 +306,7 @@ func (r *Run) Finalize(status string, fin Final) error {
 	m.Alerts = r.alertN
 	m.Error = fin.Error
 	r.manifest = m
+	mem := r.mem
 	r.mu.Unlock()
 
 	err := writeManifest(r.dir, m)
@@ -288,6 +315,11 @@ func (r *Run) Finalize(status string, fin Final) error {
 	}
 	if cerr := r.alerts.Close(); err == nil {
 		err = cerr
+	}
+	if mem != nil {
+		if cerr := mem.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

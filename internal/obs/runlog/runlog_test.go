@@ -1,13 +1,16 @@
 package runlog
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"apollo/internal/obs"
+	"apollo/internal/obs/memprof"
 )
 
 // writeSteps appends n synthetic step events to a run's steps stream,
@@ -313,3 +316,111 @@ func TestDiffNaNMismatchIsDivergence(t *testing.T) {
 }
 
 func nan() float64 { var z float64; return z / z }
+
+func TestMemWriterAndLoad(t *testing.T) {
+	root := t.TempDir()
+	run, err := Create(root, Manifest{ID: "mem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mem.jsonl does not exist until the first MemWriter call.
+	if _, err := os.Stat(filepath.Join(run.Dir(), MemFile)); !os.IsNotExist(err) {
+		t.Fatalf("mem.jsonl exists before MemWriter: %v", err)
+	}
+	mp := memprof.New(memprof.Config{Out: run.MemWriter()})
+	mp.Set("optimizer_state", 4096)
+	mp.Sample(1)
+	mp.Set("optimizer_state", 8192)
+	mp.Sample(2)
+	writeSteps(t, run, []float64{2.0, 1.5})
+	if err := run.Finalize(StatusOK, Final{Steps: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Finalized runs hand out no writer.
+	if run.MemWriter() != nil {
+		t.Fatal("MemWriter after Finalize")
+	}
+
+	rd, err := Load(root, "mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rd.Mem) != 2 {
+		t.Fatalf("loaded %d mem samples, want 2", len(rd.Mem))
+	}
+	if rd.Mem[1].Components["optimizer_state"] != 8192 {
+		t.Fatalf("sample 2 = %+v", rd.Mem[1])
+	}
+	peak, ok := rd.MemPeak()
+	if !ok || peak.TotalBytes != 8192 || peak.Step != 2 {
+		t.Fatalf("MemPeak = %+v ok=%v", peak, ok)
+	}
+
+	// A nil run's MemWriter is nil, and a profiler built on it still works.
+	var nilRun *Run
+	p2 := memprof.New(memprof.Config{Out: nilRun.MemWriter()})
+	p2.Sample(1)
+}
+
+func TestDiffMemGate(t *testing.T) {
+	root := t.TempDir()
+	mk := func(id string, peak int64) *RunData {
+		run, err := Create(root, Manifest{ID: id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp := memprof.New(memprof.Config{Out: run.MemWriter()})
+		mp.Set("optimizer_state", peak/2)
+		mp.Sample(1)
+		mp.Set("optimizer_state", peak)
+		mp.Sample(2)
+		writeSteps(t, run, []float64{2.0, 1.5})
+		run.Finalize(StatusOK, Final{})
+		rd, err := Load(root, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rd
+	}
+	small := mk("small", 1000)
+	big := mk("big", 2000)
+
+	if Diff(small, big, DiffOptions{}).MemRegressed {
+		t.Fatal("mem gate fired while disabled")
+	}
+	rep := Diff(small, big, DiffOptions{MemTol: 0.5})
+	if !rep.MemRegressed || !rep.Failed() {
+		t.Fatalf("2x peak passed a 50%% gate: %+v", rep)
+	}
+	if rep.MemPeakA != 1000 || rep.MemPeakB != 2000 {
+		t.Fatalf("peaks = %d / %d", rep.MemPeakA, rep.MemPeakB)
+	}
+	if Diff(small, big, DiffOptions{MemTol: 1.5}).MemRegressed {
+		t.Fatal("2x peak failed a 150% gate")
+	}
+	// One-directional: a candidate using less memory never fails.
+	if Diff(big, small, DiffOptions{MemTol: 0.1}).MemRegressed {
+		t.Fatal("smaller candidate flagged as regression")
+	}
+
+	// A baseline without a memory timeline leaves the gate unarmed even
+	// when a tolerance is set (pre-memprof baselines keep passing).
+	bare, err := Create(root, Manifest{ID: "bare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSteps(t, bare, []float64{2.0, 1.5})
+	bare.Finalize(StatusOK, Final{})
+	bareRD, _ := Load(root, "bare")
+	if Diff(bareRD, big, DiffOptions{MemTol: 0.01}).MemRegressed {
+		t.Fatal("gate armed against a timeline-less baseline")
+	}
+
+	// The report renders the peaks and verdict.
+	var buf bytes.Buffer
+	rep.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "mem peak (ledger)") || !strings.Contains(out, "peak memory regressed") {
+		t.Fatalf("report missing mem lines:\n%s", out)
+	}
+}

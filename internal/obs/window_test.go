@@ -71,6 +71,111 @@ func TestHistogramWindowNilSafe(t *testing.T) {
 	}
 }
 
+// TestHistogramWindowRotationExactness: the rotation boundary is exact —
+// an observation recorded before Rotate is excluded and one recorded after
+// is included, with no off-by-one at either edge, and an emptied window
+// reads zero quantiles even while the histogram holds history.
+func TestHistogramWindowRotationExactness(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("w_exact_seconds", "t", []float64{0.001, 0.01, 0.1, 1})
+	w := h.Window()
+
+	for i := 0; i < 7; i++ {
+		h.Observe(0.005)
+	}
+	if w.Count() != 7 {
+		t.Fatalf("pre-rotation count %d, want 7", w.Count())
+	}
+	w.Rotate()
+	// Immediately after rotation the window is exactly empty: count 0 and
+	// zero quantiles, even though the histogram holds all 7.
+	if c := w.Count(); c != 0 {
+		t.Fatalf("post-rotation count %d, want 0", c)
+	}
+	if q := w.Quantile(0.99); q != 0 {
+		t.Fatalf("emptied window quantile %v, want 0", q)
+	}
+
+	for i := 0; i < 3; i++ {
+		h.Observe(0.5)
+	}
+	if c := w.Count(); c != 3 {
+		t.Fatalf("count %d after 3 post-rotation observes, want exactly 3", c)
+	}
+	// Every windowed observation is in the 1-bucket: the lowest and the
+	// highest rank agree on the bucket bound, untouched by the 7 older
+	// observations in the 0.01 bucket.
+	if q := w.Quantile(0.01); q != 1 {
+		t.Fatalf("windowed low quantile %v, want 1 — pre-rotation history leaked in", q)
+	}
+	if q := w.Quantile(1.0); q != 1 {
+		t.Fatalf("windowed max quantile %v, want 1", q)
+	}
+
+	// A second rotation empties it again; the histogram's lifetime readout
+	// never rotates.
+	w.Rotate()
+	if w.Count() != 0 {
+		t.Fatalf("second rotation left count %d", w.Count())
+	}
+	if h.Count() != 10 {
+		t.Fatalf("histogram count %d, want 10", h.Count())
+	}
+}
+
+// TestHistogramWindowConcurrentRotationExact: observations racing rotations
+// are never lost or double-counted. A never-rotated reference window over
+// the same histogram must account for every observation exactly once the
+// observers stop, while a concurrently-rotated window stays non-negative
+// and bounded throughout and drains to exactly zero on a final quiescent
+// rotation.
+func TestHistogramWindowConcurrentRotationExact(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("w_rot_race_seconds", "t", []float64{0.01, 1})
+	wRot := h.Window() // rotated while observations land
+	wRef := h.Window() // never rotated: the exact-accounting reference
+
+	const observers, perObserver = 4, 2000
+	var wg sync.WaitGroup
+	for o := 0; o < observers; o++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perObserver; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	const total = int64(observers * perObserver)
+	for rotating := true; rotating; {
+		select {
+		case <-done:
+			rotating = false
+		default:
+		}
+		if c := wRot.Count(); c < 0 || c > total {
+			t.Fatalf("rotated window count %d outside [0, %d]", c, total)
+		}
+		wRot.Quantile(0.95)
+		wRot.Rotate()
+	}
+
+	// Quiescent: the reference window saw every observation exactly once.
+	if c := wRef.Count(); c != total {
+		t.Fatalf("reference window count %d, want %d", c, total)
+	}
+	if c := h.Count(); c != total {
+		t.Fatalf("histogram count %d, want %d", c, total)
+	}
+	// One final rotation drains the racing window completely.
+	wRot.Rotate()
+	if c := wRot.Count(); c != 0 {
+		t.Fatalf("drained window count %d, want 0", c)
+	}
+}
+
 // TestHistogramWindowConcurrent: rotations racing observations never
 // produce a negative count or a panic (the readout is monotone between
 // rotations).

@@ -232,6 +232,28 @@ func (b *batcher) Stats() Stats {
 	return b.stats
 }
 
+// itemOverheadBytes approximates one queued item's fixed cost beyond its
+// token slice: the item struct, the scoreReq/execReq it points at, and slice
+// headers. A round number — the ledger wants honest magnitude, not
+// allocator-exact audits.
+const itemOverheadBytes = 128
+
+// queuedBytes measures the memory pinned by the pending queue: token-slice
+// storage (8 bytes per int) plus the fixed per-item overhead. This is the
+// "batcher_buffers" component of the registry's memory ledger.
+func (b *batcher) queuedBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var total int64
+	for _, it := range b.queue {
+		total += itemOverheadBytes
+		if it.score != nil {
+			total += 8 * int64(cap(it.score.seq))
+		}
+	}
+	return total
+}
+
 func (b *batcher) loop() {
 	for {
 		b.mu.Lock()

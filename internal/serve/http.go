@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"apollo/internal/data"
-	"apollo/internal/memmodel"
 	"apollo/internal/obs"
 	"apollo/internal/optim"
 	"apollo/internal/train"
@@ -316,10 +315,6 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		Evictions int64       `json:"evictions"`
 	}{Models: []modelInfo{}, Loads: s.reg.Loads(), Evictions: s.reg.Evictions()}
 	for _, e := range entries {
-		shapes := make([]memmodel.Shape, 0)
-		for _, p := range e.model.Params().List() {
-			shapes = append(shapes, memmodel.Shape{Name: p.Name, Rows: p.W.Rows, Cols: p.W.Cols})
-		}
 		out.Models = append(out.Models, modelInfo{
 			Checkpoint:     e.Path,
 			Optimizer:      e.Optimizer,
@@ -327,7 +322,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			Generation:     e.Generation,
 			LoadedAt:       e.LoadedAt,
 			ResidentBytes:  e.ResidentBytes(),
-			PredictedBytes: int64(memmodel.ServeBytes(shapes)),
+			PredictedBytes: e.PredictedBytes(),
 		})
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -46,8 +46,10 @@ import (
 
 	"apollo/internal/ckpt"
 	"apollo/internal/data"
+	"apollo/internal/memmodel"
 	"apollo/internal/nn"
 	"apollo/internal/obs"
+	"apollo/internal/obs/memprof"
 	"apollo/internal/tensor"
 	"apollo/internal/train"
 )
@@ -102,6 +104,15 @@ type Config struct {
 	// endpoint, status, duration); the request id is echoed in the
 	// X-Request-Id response header.
 	Tracer *obs.Tracer
+	// MemProf, when set, receives the service's memory ledger: the resident
+	// snapshot bytes ("serve_snapshots", with a live memmodel.ServeBytes
+	// prediction alongside) and the queued batcher buffers
+	// ("batcher_buffers"). When nil and Metrics is set, the registry creates
+	// its own profiler against Metrics so the apollo_mem_bytes gauge family
+	// is on /metrics by default; pass an explicitly configured profiler to
+	// also get the mem.jsonl timeline, high-water heap capture, or a shared
+	// ledger with other subsystems.
+	MemProf *memprof.Profiler
 	// Pprof exposes net/http/pprof handlers under /debug/pprof/ when true.
 	Pprof bool
 }
@@ -159,6 +170,20 @@ func (e *Entry) ResidentBytes() int64 {
 		}
 	}
 	return total
+}
+
+// PredictedBytes is the analytic counterpart of ResidentBytes: what
+// memmodel.ServeBytes says this snapshot's architecture should cost resident.
+// The memory contract keeps the two within 2%
+// (TestResidentBytesMatchServeModel); the registry's memory ledger records
+// their live delta on every sample.
+func (e *Entry) PredictedBytes() int64 {
+	params := e.model.Params().List()
+	shapes := make([]memmodel.Shape, 0, len(params))
+	for _, p := range params {
+		shapes = append(shapes, memmodel.Shape{Name: p.Name, Rows: p.W.Rows, Cols: p.W.Cols})
+	}
+	return int64(memmodel.ServeBytes(shapes))
 }
 
 // ModelConfig exposes the served architecture (not the live instance).
@@ -302,6 +327,7 @@ type Registry struct {
 
 	om *registryMetrics // nil when Config.Metrics is nil
 	bm *batcherMetrics  // shared by every entry's batcher; nil likewise
+	mp *memprof.Profiler
 
 	cache *responseCache // nil when CacheEntries < 0
 	adm   *admission     // nil when ShedThreshold == 0
@@ -329,6 +355,37 @@ func NewRegistry(cfg Config) (*Registry, error) {
 	if r.cfg.CacheEntries > 0 {
 		r.cache = newResponseCache(r.cfg.CacheEntries, r.cfg.Metrics)
 	}
+	r.mp = r.cfg.MemProf
+	if r.mp == nil && r.cfg.Metrics != nil {
+		// No profiler wired but metrics are: give the gauge family a home so
+		// apollo_mem_bytes{component="serve_snapshots"} is on /metrics by
+		// default (no timeline, no capture — those need an explicit MemProf).
+		r.mp = memprof.New(memprof.Config{Registry: r.cfg.Metrics})
+	}
+	// The ledger components pull through Entries(), so an eviction's bytes
+	// vanish from the gauge the moment the slot leaves the map — the
+	// eviction/GC accounting test pins exactly that.
+	r.mp.Track(memprof.CompServeSnapshots, func() int64 {
+		var total int64
+		for _, e := range r.Entries() {
+			total += e.ResidentBytes()
+		}
+		return total
+	})
+	r.mp.Track(memprof.CompBatcherBuffers, func() int64 {
+		var total int64
+		for _, e := range r.Entries() {
+			total += e.batcher.queuedBytes()
+		}
+		return total
+	})
+	r.mp.PredictFunc(memprof.CompServeSnapshots, func() float64 {
+		var total float64
+		for _, e := range r.Entries() {
+			total += float64(e.PredictedBytes())
+		}
+		return total
+	})
 	return r, nil
 }
 

@@ -106,6 +106,14 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 
 	rec := pcfg.Telemetry
 	wd := pcfg.Watchdog
+	if pcfg.MemProf != nil {
+		var sh optim.ShardedStepper
+		if sharded {
+			sh = sharder
+		}
+		leafBytes := int64(b) * paramBytes
+		instrumentDPMemory(pcfg.MemProf, master, opt, reps, leafBytes, sh)
+	}
 	timed := rec != nil || wd != nil
 	endStep := pcfg.Steps
 	// Per-replica forward/backward wall time for the concurrent compute
@@ -269,6 +277,7 @@ func DPPretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg D
 		if rec != nil {
 			rec.RecordStep(step+1, loss, gradNorm, opt.LR(), wall, pc.d)
 		}
+		pcfg.MemProf.ObserveStep(step + 1)
 		if wd.ObserveStep(step+1, loss, gradNorm, wall.Seconds()) {
 			endStep = step + 1
 			pcfg.Logf("[%s x%d] step %d: watchdog halt", opt.Name(), replicas, endStep)

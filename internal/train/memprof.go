@@ -1,0 +1,98 @@
+// Live memory accounting for the training loops: wiring the loops' resident
+// tensors and the optimizer's introspection hooks into a memprof.Profiler's
+// component ledger. Everything here is observational — the closures read byte
+// counts the loops already own and feed nothing back, so a profiled run is
+// bit-identical to an unprofiled one (TestMemprofParity*).
+package train
+
+import (
+	"apollo/internal/nn"
+	"apollo/internal/obs/memprof"
+	"apollo/internal/optim"
+)
+
+// paramListBytes sums the float32 storage of a parameter list's weights and
+// (when allocated) gradients.
+func paramListBytes(params []*nn.Param) (weights, grads int64) {
+	for _, p := range params {
+		weights += 4 * int64(p.W.NumEl())
+		if p.Grad != nil {
+			grads += 4 * int64(p.Grad.NumEl())
+		}
+	}
+	return weights, grads
+}
+
+// instrumentMemory registers the fused loop's components on the profiler:
+// weights and grads (fixed once the model exists) plus live optimizer state.
+// When the optimizer exposes optim.StateIntrospector, its state splits into
+// the introspected per-parameter moments ("optimizer_state") and whatever
+// StateBytes reports beyond them ("projector_scratch" — projection buffers,
+// quantization tables); the two always sum to the measured StateBytes, so
+// the ledger total never double-counts. Without introspection the whole
+// measured footprint lands in "optimizer_state".
+func instrumentMemory(mp *memprof.Profiler, params []*nn.Param, opt optim.Optimizer) {
+	if mp == nil {
+		return
+	}
+	weights, grads := paramListBytes(params)
+	mp.Set(memprof.CompWeights, weights)
+	mp.Set(memprof.CompGrads, grads)
+	if si, ok := opt.(optim.StateIntrospector); ok {
+		moments := func() int64 {
+			var elems int64
+			for _, p := range params {
+				elems += si.StateElemsFor(p)
+			}
+			return 4 * elems
+		}
+		mp.Track(memprof.CompOptimizerState, func() int64 {
+			m, total := moments(), opt.StateBytes()
+			if m > total {
+				return total // introspection over-promises; report measured
+			}
+			return m
+		})
+		mp.Track(memprof.CompProjectorScratch, func() int64 {
+			if extra := opt.StateBytes() - moments(); extra > 0 {
+				return extra
+			}
+			return 0
+		})
+	} else {
+		mp.Track(memprof.CompOptimizerState, func() int64 { return opt.StateBytes() })
+	}
+}
+
+// instrumentDPMemory adds the data-parallel loop's extra residents on top of
+// the fused set: the per-sequence gradient leaves and the replica models
+// (weights + grads each). Under ZeRO the optimizer state is registered as
+// one component per shard *instead of* the aggregate "optimizer_state" —
+// the shards partition the measured state exactly (ReplicaStateBytes sums
+// to StateBytes), so the ledger total stays double-count free while showing
+// the ~1/N split the sharding buys.
+func instrumentDPMemory(mp *memprof.Profiler, master []*nn.Param, opt optim.Optimizer,
+	reps []*dpReplica, leafBytes int64, sharder optim.ShardedStepper) {
+	if mp == nil {
+		return
+	}
+	if sharder == nil {
+		instrumentMemory(mp, master, opt)
+	} else {
+		weights, grads := paramListBytes(master)
+		mp.Set(memprof.CompWeights, weights)
+		mp.Set(memprof.CompGrads, grads)
+		for s := 0; s < sharder.Shards(); s++ {
+			mp.Track(memprof.ShardComponent(s), func() int64 {
+				return sharder.ReplicaStateBytes()[s]
+			})
+		}
+	}
+	mp.Set(memprof.CompDPGradLeaves, leafBytes)
+	var repBytes int64
+	for _, rep := range reps {
+		w, g := paramListBytes(rep.params)
+		repBytes += w + g
+	}
+	mp.Set(memprof.CompDPReplicas, repBytes)
+}

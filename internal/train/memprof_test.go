@@ -1,0 +1,122 @@
+package train
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"apollo/internal/obs/memprof"
+	"apollo/internal/optim"
+	"apollo/internal/zero"
+)
+
+// TestMemprofParityFused is the memory half of the determinism contract: a
+// fused run with a memory profiler sampling every step (on top of the full
+// telemetry rig) is bit-identical to a bare run.
+func TestMemprofParityFused(t *testing.T) {
+	const seed = 11
+	refModel, refOpt, refCorpus := dpTestSetup(t, seed)
+	cfg := PretrainConfig{Batch: 6, Seq: 16, Steps: 6, EvalEvery: 3, EvalBatches: 2, ClipNorm: 1.0}
+	ref := Pretrain(refModel, refOpt, refCorpus, cfg)
+
+	var b strings.Builder
+	var mem bytes.Buffer
+	mpModel, mpOpt, mpCorpus := dpTestSetup(t, seed)
+	cfgMP := cfg
+	run, wd, rec := parityLedger(t, &b)
+	cfgMP.Telemetry = rec
+	cfgMP.Watchdog = wd
+	cfgMP.MemProf = memprof.New(memprof.Config{Out: &mem})
+	got := Pretrain(mpModel, mpOpt, mpCorpus, cfgMP)
+	checkParityLedger(t, run, wd, cfg.Steps)
+
+	for i := range ref.Series {
+		if got.Series[i] != ref.Series[i] {
+			t.Fatalf("metric %d differs with memprof:\n  got  %+v\n  want %+v", i, got.Series[i], ref.Series[i])
+		}
+	}
+	refParams := refModel.Params().List()
+	for i, p := range mpModel.Params().List() {
+		if !p.W.Equal(refParams[i].W) {
+			t.Fatalf("weight %s differs bitwise with memprof enabled", p.Name)
+		}
+	}
+
+	// The timeline recorded one sample per step with the measured ledger:
+	// AdamW state is exactly 2 moments × 4 bytes per element.
+	lines := strings.Split(strings.TrimRight(mem.String(), "\n"), "\n")
+	if len(lines) != cfg.Steps {
+		t.Fatalf("got %d mem samples, want %d", len(lines), cfg.Steps)
+	}
+	var last memprof.Sample
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Step != cfg.Steps {
+		t.Fatalf("last sample step = %d", last.Step)
+	}
+	wantState := mpOpt.StateBytes()
+	if got := last.Components[memprof.CompOptimizerState]; got != wantState {
+		t.Fatalf("optimizer_state = %d, StateBytes = %d", got, wantState)
+	}
+	if last.Components[memprof.CompWeights] <= 0 || last.Components[memprof.CompGrads] <= 0 {
+		t.Fatalf("weights/grads missing: %v", last.Components)
+	}
+	if last.Components[memprof.CompProjectorScratch] != 0 {
+		t.Fatalf("AdamW scratch = %d, want 0", last.Components[memprof.CompProjectorScratch])
+	}
+}
+
+// TestMemprofParityDPZero repeats the check on the hardest path — DP with
+// ZeRO-sharded state — and verifies the per-shard ledger partitions the
+// measured state exactly.
+func TestMemprofParityDPZero(t *testing.T) {
+	const seed = 42
+	const replicas = 3
+	ref, refModel := zeroRun(t, replicas, seed, nil, nil)
+
+	var mem bytes.Buffer
+	model, _, corpus := dpTestSetup(t, seed)
+	opt := zero.NewSharded(func() optim.Optimizer {
+		return optim.NewAdamW(optim.Hyper{LR: 1e-3, WeightDecay: 0.01})
+	}, replicas)
+	cfg := dpTestConfig(replicas)
+	cfg.MemProf = memprof.New(memprof.Config{Out: &mem})
+	got := DPPretrain(model, opt, corpus, cfg)
+
+	for i := range ref.Series {
+		if got.Series[i] != ref.Series[i] {
+			t.Fatalf("metric %d differs with memprof:\n  got  %+v\n  want %+v", i, got.Series[i], ref.Series[i])
+		}
+	}
+	refParams := refModel.Params().List()
+	for i, p := range model.Params().List() {
+		if !p.W.Equal(refParams[i].W) {
+			t.Fatalf("weight %s differs bitwise with memprof enabled", p.Name)
+		}
+	}
+
+	lines := strings.Split(strings.TrimRight(mem.String(), "\n"), "\n")
+	var last memprof.Sample
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	var shardSum int64
+	for s := 0; s < replicas; s++ {
+		v, ok := last.Components[memprof.ShardComponent(s)]
+		if !ok {
+			t.Fatalf("missing %s in %v", memprof.ShardComponent(s), last.Components)
+		}
+		shardSum += v
+	}
+	if shardSum != opt.StateBytes() {
+		t.Fatalf("shard components sum to %d, StateBytes = %d", shardSum, opt.StateBytes())
+	}
+	if _, ok := last.Components[memprof.CompOptimizerState]; ok {
+		t.Fatal("sharded run also carries the aggregate optimizer_state component (double count)")
+	}
+	if last.Components[memprof.CompDPReplicas] <= 0 || last.Components[memprof.CompDPGradLeaves] <= 0 {
+		t.Fatalf("DP components missing: %v", last.Components)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"apollo/internal/data"
 	"apollo/internal/nn"
 	"apollo/internal/obs"
+	"apollo/internal/obs/memprof"
 	"apollo/internal/obs/runlog"
 	"apollo/internal/optim"
 )
@@ -115,6 +116,13 @@ type PretrainConfig struct {
 	// Observational only: a watched run is bit-identical to an unwatched one
 	// (TestTelemetryParity* run with ledger+watchdog enabled).
 	Watchdog *runlog.Watchdog
+	// MemProf, when non-nil, receives the loop's live memory ledger —
+	// weights, grads, measured optimizer state (split per ZeRO shard in the
+	// DP loop) — and is sampled once per step after the step's telemetry is
+	// recorded, so the sampler never sits on the timed path. Observational
+	// only: a profiled run is bit-identical to an unprofiled one
+	// (TestMemprofParity*); disabled it costs one nil check per step.
+	MemProf *memprof.Profiler
 	// Quiet suppresses progress output.
 	Logf func(format string, args ...any)
 }
@@ -150,6 +158,7 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 
 	rec := cfg.Telemetry
 	wd := cfg.Watchdog
+	instrumentMemory(cfg.MemProf, params.List(), opt)
 	timed := rec != nil || wd != nil
 	endStep := cfg.Steps
 	for step := cfg.StartStep; step < cfg.Steps; step++ {
@@ -198,6 +207,7 @@ func Pretrain(model *nn.Model, opt optim.Optimizer, corpus *data.Corpus, cfg Pre
 		if rec != nil {
 			rec.RecordStep(step+1, loss, gradNorm, opt.LR(), wall, pc.d)
 		}
+		cfg.MemProf.ObserveStep(step + 1)
 		if wd.ObserveStep(step+1, loss, gradNorm, wall.Seconds()) {
 			endStep = step + 1
 			cfg.Logf("[%s] step %d: watchdog halt", opt.Name(), endStep)
