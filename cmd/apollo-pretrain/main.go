@@ -98,12 +98,12 @@ func main() {
 	var ledger *runlog.Run
 	fail := func(v ...any) {
 		fmt.Fprintln(os.Stderr, v...)
-		ledger.Finalize(runlog.StatusFailed, runlog.Final{Error: strings.TrimSpace(fmt.Sprintln(v...))})
+		obs.CountWriteError(ledger.Finalize(runlog.StatusFailed, runlog.Final{Error: strings.TrimSpace(fmt.Sprintln(v...))}))
 		os.Exit(1)
 	}
 	defer func() {
 		if p := recover(); p != nil {
-			ledger.Finalize(runlog.StatusPanic, runlog.Final{Error: fmt.Sprint(p)})
+			obs.CountWriteError(ledger.Finalize(runlog.StatusPanic, runlog.Final{Error: fmt.Sprint(p)}))
 			panic(p)
 		}
 	}()
@@ -189,7 +189,7 @@ func main() {
 		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			s := <-sigc
-			ledger.Finalize(runlog.StatusInterrupted, runlog.Final{Error: "signal: " + s.String()})
+			obs.CountWriteError(ledger.Finalize(runlog.StatusInterrupted, runlog.Final{Error: "signal: " + s.String()}))
 			os.Exit(130)
 		}()
 	}
@@ -262,7 +262,9 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		defer f.Close()
+		// Telemetry flush failures must surface: count the close error into
+		// apollo_obs_write_errors_total instead of dropping it.
+		defer func() { obs.CountWriteError(f.Close()) }()
 		stepSinks = append(stepSinks, f)
 		fmt.Printf("telemetry: per-step phase timings → %s\n", *telem)
 	}
@@ -318,7 +320,7 @@ func main() {
 	}
 	if res.Halted {
 		fin.Error = fmt.Sprintf("watchdog halt at step %d: %s", res.HaltStep, res.HaltReason)
-		ledger.Finalize(runlog.StatusHalted, fin)
+		obs.CountWriteError(ledger.Finalize(runlog.StatusHalted, fin))
 		fmt.Fprintf(os.Stderr, "halted: %s\n", fin.Error)
 		os.Exit(3)
 	}
@@ -341,7 +343,10 @@ func main() {
 			train.FormatBytes(peak.TotalBytes), train.FormatBytes(int64(peak.HeapInuse)),
 			peak.Step, runlog.MemFile)
 	}
-	ledger.Finalize(runlog.StatusOK, fin)
+	if err := ledger.Finalize(runlog.StatusOK, fin); err != nil {
+		// The run succeeded but its ledger entry may be torn — say so.
+		fmt.Fprintf(os.Stderr, "warning: run ledger finalize: %v\n", obs.CountWriteError(err))
+	}
 	fmt.Printf("\nfinal: %s\n", res.String())
 	if res.PhaseSeconds != nil {
 		fmt.Printf("phase breakdown over %s of stepped wall time:\n",

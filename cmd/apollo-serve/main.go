@@ -127,7 +127,9 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		defer f.Close()
+		// Trace flush failures must surface: count the close error into
+		// apollo_obs_write_errors_total instead of dropping it.
+		defer func() { obs.CountWriteError(f.Close()) }()
 		tracer = obs.NewTracer(f)
 	}
 
@@ -144,7 +146,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		defer memSink.Close()
+		defer func() { obs.CountWriteError(memSink.Close()) }()
 		memCfg.Out = memSink // nil Out keeps gauges live without a timeline
 	}
 	mp := memprof.New(memCfg)

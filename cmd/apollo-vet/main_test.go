@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"apollo/internal/analysis"
+)
+
+// runVet runs the driver via `go run .` with args and returns its exit
+// code and stdout — exercising the real process exit contract CI depends
+// on (0 clean, 1 findings, 2 error). stderr is go run's own channel (it
+// appends "exit status N") and is surfaced only on unexpected failure.
+func runVet(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stdout.String()
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("go run: %v\n%s%s", err, stdout.String(), stderr.String())
+	}
+	return ee.ExitCode(), stdout.String()
+}
+
+func TestDriverFlagsSeededViolation(t *testing.T) {
+	code, out := runVet(t, "-C", "testdata/broken", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d over seeded violation, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "range over map") || !strings.Contains(out, "[mapiter]") {
+		t.Fatalf("missing mapiter diagnostic:\n%s", out)
+	}
+}
+
+func TestDriverCleanModuleExitsZero(t *testing.T) {
+	code, out := runVet(t, "-C", "testdata/clean", "./...")
+	if code != 0 {
+		t.Fatalf("exit %d over clean module, want 0\n%s", code, out)
+	}
+}
+
+func TestDriverJSONOutput(t *testing.T) {
+	code, out := runVet(t, "-json", "-C", "testdata/broken", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, out)
+	}
+	if len(diags) == 0 || diags[0].Analyzer != "mapiter" || diags[0].Line == 0 {
+		t.Fatalf("unexpected diagnostics: %+v", diags)
+	}
+}
+
+func TestDriverAnalyzerDisableFlag(t *testing.T) {
+	// The seeded violation is mapiter's; disabling mapiter must clear it.
+	code, out := runVet(t, "-mapiter=false", "-C", "testdata/broken", "./...")
+	if code != 0 {
+		t.Fatalf("exit %d with mapiter disabled, want 0\n%s", code, out)
+	}
+}

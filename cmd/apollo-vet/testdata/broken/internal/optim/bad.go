@@ -1,0 +1,12 @@
+// Package optim seeds one deliberate contract violation: CI's negative
+// check runs apollo-vet over this module and demands a nonzero exit.
+package optim
+
+// SumFloats accumulates in map order — the exact bug mapiter exists for.
+func SumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

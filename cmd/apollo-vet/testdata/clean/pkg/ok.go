@@ -1,0 +1,7 @@
+// Package pkg is contract-clean: the driver must exit 0 over it.
+package pkg
+
+// Add is free of every vice the suite checks for.
+func Add(a, b int) int {
+	return a + b
+}

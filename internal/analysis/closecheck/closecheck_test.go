@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"apollo/internal/analysis/analysistest"
+	"apollo/internal/analysis/closecheck"
+)
+
+func TestClosecheck(t *testing.T) {
+	analysistest.Run(t, "../testdata/closecheck", closecheck.Analyzer)
+}

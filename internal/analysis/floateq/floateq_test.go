@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"apollo/internal/analysis/analysistest"
+	"apollo/internal/analysis/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, "../testdata/floateq", floateq.Analyzer)
+}

@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"apollo/internal/analysis/analysistest"
+	"apollo/internal/analysis/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, "../testdata/mapiter", mapiter.Analyzer)
+}

@@ -1,0 +1,12 @@
+package obsguard_test
+
+import (
+	"testing"
+
+	"apollo/internal/analysis/analysistest"
+	"apollo/internal/analysis/obsguard"
+)
+
+func TestObsguard(t *testing.T) {
+	analysistest.Run(t, "../testdata/obsguard", obsguard.Analyzer)
+}

@@ -1,0 +1,86 @@
+// Package ckpt is a fixture: it lives at a crash-honest-writer import path
+// from closecheck's default configuration.
+package ckpt
+
+// W is a writer stand-in with the tracked cleanup methods.
+type W struct {
+	closed bool
+}
+
+// Close implements the tracked signature: exactly one error result.
+func (w *W) Close() error {
+	w.closed = true
+	return nil
+}
+
+// Flush is also tracked.
+func (w *W) Flush() error {
+	return nil
+}
+
+// Stop returns an error but is not a tracked method name.
+func (w *W) Stop() error {
+	return nil
+}
+
+// Sync has the tracked name but not the one-error signature.
+func (w *W) Sync() (int, error) {
+	return 0, nil
+}
+
+func discardExpr(w *W) {
+	w.Close() // want `w.Close error discarded \(result ignored\)`
+}
+
+func discardDefer(w *W) {
+	defer w.Close() // want `w.Close error discarded \(deferred without error handling\)`
+}
+
+func discardGo(w *W) {
+	go w.Flush() // want `w.Flush error discarded \(goroutine result unobservable\)`
+}
+
+func discardBlank(w *W) {
+	_ = w.Close() // want `w.Close error discarded \(assigned to blank\)`
+}
+
+func checked(w *W) error {
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func returned(w *W) error {
+	return w.Close()
+}
+
+func annotated(w *W) {
+	w.Close() //apollo:allowdiscard fixture writer holds no buffered bytes
+}
+
+func bare(w *W) {
+	//apollo:allowdiscard
+	w.Close() // want `//apollo:allowdiscard requires a justification`
+}
+
+func untrackedName(w *W) {
+	w.Stop()
+}
+
+func untrackedSignature(w *W) {
+	w.Sync()
+}
+
+var (
+	_ = discardExpr
+	_ = discardDefer
+	_ = discardGo
+	_ = discardBlank
+	_ = checked
+	_ = returned
+	_ = annotated
+	_ = bare
+	_ = untrackedName
+	_ = untrackedSignature
+)

@@ -1,0 +1,17 @@
+// Package scratch is outside closecheck's configured scope: discards here
+// are unchecked.
+package scratch
+
+// W mirrors the tracked signature.
+type W struct{}
+
+// Close returns an error nobody is required to look at here.
+func (w *W) Close() error {
+	return nil
+}
+
+func discard(w *W) {
+	w.Close()
+}
+
+var _ = discard

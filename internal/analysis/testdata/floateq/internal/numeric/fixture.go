@@ -1,0 +1,55 @@
+// Package numeric is a floateq fixture; the analyzer's default
+// configuration checks every package.
+package numeric
+
+// Eq compares floats exactly without saying so: flagged.
+func Eq(a, b float64) bool {
+	return a == b // want `float == comparison`
+}
+
+// Neq on float32: flagged.
+func Neq(a, b float32) bool {
+	return a != b // want `float != comparison`
+}
+
+// SentinelMixed compares a float against an untyped constant: flagged.
+func SentinelMixed(x float64) bool {
+	return x == 0 // want `float == comparison`
+}
+
+// Ints are not floats.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Tolerant compares with an epsilon: ordering operators are fine.
+func Tolerant(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// Annotated carries a line-level justification: suppressed.
+func Annotated(a, b float64) bool {
+	return a == b //apollo:exactfloat parity check; bitwise equality is the point
+}
+
+// EqualSlices is an explicitly-exact helper: the doc directive exempts
+// every comparison in its body.
+//
+//apollo:exactfloat bitwise slice equality is this helper's contract
+func EqualSlices(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+//apollo:exactfloat
+func Bare(a, b float64) bool {
+	return a == b // want `//apollo:exactfloat requires a justification`
+}

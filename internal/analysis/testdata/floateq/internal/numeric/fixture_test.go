@@ -1,0 +1,10 @@
+package numeric
+
+import "testing"
+
+// Test files compare floats exactly by design: exempt.
+func TestExactEquality(t *testing.T) {
+	if got := 1.0 + 2.0; got != 3.0 {
+		t.Fatal(got)
+	}
+}

@@ -1,0 +1,75 @@
+// Package optim is a fixture: it lives at a determinism-critical import
+// path from mapiter's default configuration.
+package optim
+
+import "sort"
+
+// SumFloats accumulates floats in map order: the classic parity killer.
+func SumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `range over map m in determinism-critical package apollo/internal/optim`
+		total += v
+	}
+	return total
+}
+
+// SumAnnotated carries a justified suppression: no diagnostic.
+func SumAnnotated(m map[string]int64) int64 {
+	var total int64
+	for _, v := range m { //apollo:orderfree exact integer sum; iteration order cannot reach the result
+		total += v
+	}
+	return total
+}
+
+// SumBare carries the directive without a justification: the suppression
+// itself becomes the finding.
+func SumBare(m map[string]int64) int64 {
+	var total int64
+	//apollo:orderfree
+	for _, v := range m { // want `//apollo:orderfree requires a justification`
+		total += v
+	}
+	return total
+}
+
+// CountOnly binds nothing: order cannot be observed.
+func CountOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SortedKeys is the canonical collect-then-sort idiom: the collect half is
+// recognized and allowed without annotation.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SliceRange is not a map range at all.
+func SliceRange(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// AlmostCollect binds the key but does more than collect: flagged.
+func AlmostCollect(m map[string]int) []string {
+	var keys []string
+	n := 0
+	for k := range m { // want `range over map m`
+		keys = append(keys, k)
+		n++
+	}
+	_ = n
+	return keys
+}

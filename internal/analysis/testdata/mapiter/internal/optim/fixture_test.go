@@ -1,0 +1,15 @@
+package optim
+
+import "testing"
+
+// Test files are exempt: assertions are order-insensitive by construction.
+func TestMapRangeAllowed(t *testing.T) {
+	m := map[string]float64{"a": 1, "b": 2}
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	if total != 3 {
+		t.Fatal(total)
+	}
+}

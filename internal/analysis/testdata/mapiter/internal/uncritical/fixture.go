@@ -1,0 +1,12 @@
+// Package uncritical is outside mapiter's configured scope: map iteration
+// here is unchecked.
+package uncritical
+
+// Sum ranges a map freely.
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

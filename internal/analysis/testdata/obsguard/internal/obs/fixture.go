@@ -1,0 +1,99 @@
+// Package obs is a fixture standing in for the real handle package: the
+// type names below appear in obsguard's default configuration for
+// apollo/internal/obs.
+package obs
+
+// Counter is a nil-safe handle type.
+type Counter struct {
+	n int64
+}
+
+// Add starts with the canonical guard: clean.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.n += delta
+}
+
+// Value guards and returns a zero value: clean.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Enabled is the single-expression predicate shape: clean.
+func (c *Counter) Enabled() bool {
+	return c != nil && c.n >= 0
+}
+
+// Inc forgets the guard: a nil Counter panics at the first event.
+func (c *Counter) Inc() { // want `exported method \(\*Counter\).Inc lacks a leading nil-receiver guard`
+	c.n++
+}
+
+// Gauge is also a configured handle type.
+type Gauge struct {
+	v float64
+}
+
+// Set widens the guard with a second disjunct; short-circuit evaluation
+// keeps the nil case first: clean.
+func (g *Gauge) Set(v float64) {
+	if g == nil || v < 0 {
+		return
+	}
+	g.v = v
+}
+
+// reset is unexported: not part of the handle API.
+func (g *Gauge) reset() {
+	g.v = 0
+}
+
+// Snapshot has a value receiver: it cannot observe a nil handle.
+func (g Gauge) Snapshot() float64 {
+	return g.v
+}
+
+// LateGuard checks nil, but not as the first statement: flagged — the
+// statement before the guard already dereferences.
+func (g *Gauge) LateGuard(v float64) { // want `lacks a leading nil-receiver guard`
+	g.v = v
+	if g == nil {
+		return
+	}
+}
+
+var _ = (&Gauge{}).reset
+
+// Tracer is configured; its methods opt out explicitly.
+type Tracer struct {
+	on bool
+}
+
+// Start opts out with a justification: suppressed.
+//
+//apollo:noguard fixture type is constructed locally and never handed out nil
+func (t *Tracer) Start() {
+	t.on = true
+}
+
+//apollo:noguard
+func (t *Tracer) Stop() { // want `//apollo:noguard requires a justification`
+	t.on = false
+}
+
+// helper is not a configured handle type: no guard required.
+type helper struct {
+	n int
+}
+
+// Bump dereferences freely.
+func (h *helper) Bump() {
+	h.n++
+}
+
+var _ = (&helper{}).Bump

@@ -82,7 +82,7 @@ func runFig3(ctx *RunContext) error {
 	ctx.Printf("\n")
 	n := len(series[order[0]])
 	for i := 0; i < n; i++ {
-		if series[order[0]][i].TrainLoss == 0 {
+		if series[order[0]][i].TrainLoss == 0 { //apollo:exactfloat zero is the no-train-loss sentinel on the final eval-only point
 			continue // the final eval-only point carries no train loss
 		}
 		ctx.Printf("%8d", series[order[0]][i].Step)
@@ -388,7 +388,7 @@ func directionalSharpness(model *nn.Model, dir []*tensor.Matrix, tokens, targets
 		sq += d.SqNorm()
 	}
 	norm := math.Sqrt(sq)
-	if norm == 0 {
+	if norm == 0 { //apollo:exactfloat guard against division by an exact-zero norm
 		return 0
 	}
 	scale := float32(eps / norm)

@@ -107,7 +107,7 @@ func runCkpt(ctx *RunContext) error {
 		})
 
 		parity := "exact"
-		if res.FinalValPPL != ref.FinalValPPL {
+		if res.FinalValPPL != ref.FinalValPPL { //apollo:exactfloat bit-parity contract: resume must match straight run float-for-float
 			parity = "DRIFT"
 		}
 

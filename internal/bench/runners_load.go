@@ -123,7 +123,7 @@ func runLoad(ctx *RunContext) error {
 	}
 	srv := serve.NewHTTPServer("", serve.NewServer(reg).Handler())
 	go srv.Serve(ln)
-	defer srv.Close()
+	defer srv.Close() //apollo:allowdiscard throwaway in-process bench server; shutdown errors carry no data loss
 	base := "http://" + ln.Addr().String()
 
 	client := &http.Client{
@@ -149,7 +149,7 @@ func runLoad(ctx *RunContext) error {
 		if err != nil {
 			return 0, "", nil, err
 		}
-		defer resp.Body.Close()
+		defer resp.Body.Close() //apollo:allowdiscard read-only response stream; body is fully consumed by ReadAll
 		blob, err := io.ReadAll(resp.Body)
 		return resp.StatusCode, resp.Header.Get("X-Cache"), blob, err
 	}

@@ -89,7 +89,7 @@ func pretrainOne(ctx *RunContext, proxy Proxy, method string, rank int, steps in
 	if seq <= 0 {
 		seq = proxy.Seq
 	}
-	if lrScale == 0 {
+	if lrScale == 0 { //apollo:exactfloat zero is the unset-flag sentinel; default fills only untouched fields
 		lrScale = 1
 	}
 	lr := proxy.LR * lrScale * methodLRScale(method)
@@ -151,7 +151,7 @@ func pretrainOne(ctx *RunContext, proxy Proxy, method string, rank int, steps in
 		if res.Halted {
 			status = runlog.StatusHalted
 		}
-		ledger.Finalize(status, fin)
+		obs.CountWriteError(ledger.Finalize(status, fin))
 	}
 	return res, nil
 }

@@ -75,7 +75,7 @@ func runRuntime(ctx *RunContext) error {
 			PretrainConfig: train.PretrainConfig{Batch: proxy.Batch, Seq: proxy.Seq, Steps: steps},
 			Replicas:       replicas,
 		})
-		if dpBase == 0 {
+		if dpBase == 0 { //apollo:exactfloat zero marks the unset first-iteration baseline
 			dpBase = res.WallSeconds
 		}
 		ctx.Printf("  replicas=%d  %6.2fs  speedup %.2fx  final ppl %.2f\n",
@@ -96,7 +96,7 @@ func runRuntime(ctx *RunContext) error {
 			SeqLen: 1024, GlobalBatch: 64, LayerWise: true,
 		}
 		st := cluster.StepTime(w, cluster.ProfileAPOLLO(256), 16)
-		if simBase == 0 {
+		if simBase == 0 { //apollo:exactfloat zero marks the unset first-iteration baseline
 			simBase = st.Total()
 		}
 		ctx.Printf("  world=%d     step %6.2fs  speedup %.2fx (comm %.3fs)\n",

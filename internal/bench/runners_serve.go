@@ -141,7 +141,7 @@ func runServe(ctx *RunContext) error {
 		return err
 	}
 	parity := "exact"
-	if served != offline {
+	if served != offline { //apollo:exactfloat bit-parity contract: served bytes must match offline compute exactly
 		parity = "DRIFT"
 	}
 	fi, err := os.Stat(path)

@@ -153,7 +153,7 @@ func runFig1Throughput(ctx *RunContext) error {
 		{cluster.ProfileAPOLLOMini(), wLW},
 	} {
 		tps, micro := cluster.Throughput(p.work, p.prof)
-		if base == 0 {
+		if base == 0 { //apollo:exactfloat zero marks the unset first-iteration baseline
 			base = tps
 		}
 		ctx.Printf("%-12s micro-batch %2d  %8.0f tok/s  (%.2fx AdamW)\n", p.prof.Name, micro, tps, tps/base)

@@ -86,7 +86,7 @@ func runZero(ctx *RunContext) error {
 		zeroRes = zres
 
 		parity := "exact"
-		if zres.FinalValPPL != plain.FinalValPPL {
+		if zres.FinalValPPL != plain.FinalValPPL { //apollo:exactfloat bit-parity contract: ZeRO run must match unsharded float-for-float
 			parity = "DRIFT"
 		}
 		var maxReplica int64

@@ -20,6 +20,7 @@ import (
 
 	"apollo/internal/data"
 	"apollo/internal/nn"
+	"apollo/internal/obs"
 	"apollo/internal/optim"
 )
 
@@ -127,14 +128,16 @@ func SaveFile(path string, st *State) error {
 	}
 	defer os.Remove(tmp.Name())
 	if err := Write(tmp, st); err != nil {
-		tmp.Close()
+		// The write already failed and the temp file is discarded; the
+		// close error is secondary but still accounted, never silent.
+		obs.CountWriteError(tmp.Close())
 		return err
 	}
 	// Flush to stable storage before the rename becomes visible: without it
 	// a power loss can leave the path pointing at an empty file while the
 	// previous snapshot is already gone.
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		obs.CountWriteError(tmp.Close())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -149,7 +152,7 @@ func LoadFile(path string) (*State, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //apollo:allowdiscard file opened read-only; close cannot lose written bytes
 	return Read(f)
 }
 

@@ -115,7 +115,7 @@ func LoadModelFile(path string) (*ModelSnapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //apollo:allowdiscard file opened read-only; close cannot lose written bytes
 	return ReadModel(f)
 }
 

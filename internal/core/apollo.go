@@ -37,7 +37,7 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Scale == 0 {
+	if c.Scale == 0 { //apollo:exactfloat zero is the unset-field sentinel; defaults fill only untouched fields
 		if c.Granularity == Tensor {
 			c.Scale = math.Sqrt(128)
 		} else {
@@ -47,7 +47,7 @@ func (c Config) withDefaults() Config {
 	if c.UpdateGap == 0 {
 		c.UpdateGap = 200
 	}
-	if c.Gamma == 0 {
+	if c.Gamma == 0 { //apollo:exactfloat zero is the unset-field sentinel; defaults fill only untouched fields
 		c.Gamma = DefaultGamma
 	}
 	if c.Seed == 0 {

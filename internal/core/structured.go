@@ -177,7 +177,7 @@ func applyChannelScales(g *tensor.Matrix, s []float64) {
 
 // applyUpdate performs the decoupled weight-decay step w ← w − lr·u − lr·λ·w.
 func applyUpdate(p *nn.Param, u *tensor.Matrix, h optim.Hyper) {
-	if h.WeightDecay != 0 {
+	if h.WeightDecay != 0 { //apollo:exactfloat zero weight decay disables the term exactly, matching optim
 		tensor.ScaleInPlace(p.W, float32(1-h.LR*h.WeightDecay))
 	}
 	tensor.AxpyInPlace(p.W, float32(-h.LR), u)
@@ -185,13 +185,13 @@ func applyUpdate(p *nn.Param, u *tensor.Matrix, h optim.Hyper) {
 
 // fillHyper mirrors optim's private defaults for use inside this package.
 func fillHyper(h optim.Hyper) optim.Hyper {
-	if h.Beta1 == 0 {
+	if h.Beta1 == 0 { //apollo:exactfloat zero is the unset-field sentinel; defaults fill only untouched fields
 		h.Beta1 = 0.9
 	}
-	if h.Beta2 == 0 {
+	if h.Beta2 == 0 { //apollo:exactfloat zero is the unset-field sentinel; defaults fill only untouched fields
 		h.Beta2 = 0.999
 	}
-	if h.Eps == 0 {
+	if h.Eps == 0 { //apollo:exactfloat zero is the unset-field sentinel; defaults fill only untouched fields
 		h.Eps = 1e-8
 	}
 	return h

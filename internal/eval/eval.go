@@ -108,7 +108,7 @@ func DirectionalSharpness(model *nn.Model, dir []*tensor.Matrix, tokens, targets
 		sq += d.SqNorm()
 	}
 	norm := math.Sqrt(sq)
-	if norm == 0 {
+	if norm == 0 { //apollo:exactfloat guard against division by an exact-zero norm
 		return 0
 	}
 	scale := float32(eps / norm)

@@ -266,7 +266,7 @@ const (
 // same canonical layout before writing.
 func CheckpointBytes(shapes []Shape, m Method, rank int) float64 {
 	statePer := float64(ckptFPStateBytesPerElem)
-	if m.StateBytesPer == BytesINT8 {
+	if m.StateBytesPer == BytesINT8 { //apollo:exactfloat BytesINT8 is an exact constant discriminator, never computed
 		statePer = 1 + float64(BytesFP32)/ckptInt8GroupSize
 	}
 	total := float64(ckptFixedBytes)
@@ -381,7 +381,7 @@ func Compute(p Plan) Breakdown {
 		out.Weights = params*BytesINT8 + params/float64(gs)*BytesFP32
 	} else {
 		wb := p.WeightBytesPer
-		if wb == 0 {
+		if wb == 0 { //apollo:exactfloat zero is the unset-field sentinel; default fills only untouched fields
 			wb = BytesBF16
 		}
 		out.Weights = params * wb

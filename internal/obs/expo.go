@@ -57,39 +57,41 @@ func (r *Registry) RenderPrometheus(w io.Writer) error {
 // histograms to {count, sum, p50, p95, p99, max}. A nil registry renders
 // "{}".
 func (r *Registry) WriteVars(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
 	vars := map[string]any{}
-	if r != nil {
-		r.mu.Lock()
-		for _, name := range r.order {
-			fam := r.families[name]
-			for _, in := range fam.instances {
-				key := fam.name + renderLabels(in.labelSet())
-				switch m := in.(type) {
-				case *Counter:
-					vars[key] = m.Value()
-				case *funcCounter:
-					vars[key] = m.fn()
-				case *Gauge:
-					vars[key] = m.Value()
-				case *funcGauge:
-					vars[key] = m.fn()
-				case *Histogram:
-					hv := map[string]any{
-						"count": m.Count(),
-						"sum":   m.Sum(),
-						"p50":   m.Quantile(0.50),
-						"p95":   m.Quantile(0.95),
-						"p99":   m.Quantile(0.99),
-					}
-					if m.Count() > 0 {
-						hv["max"] = math.Float64frombits(m.max.Load())
-					}
-					vars[key] = hv
+	r.mu.Lock()
+	for _, name := range r.order {
+		fam := r.families[name]
+		for _, in := range fam.instances {
+			key := fam.name + renderLabels(in.labelSet())
+			switch m := in.(type) {
+			case *Counter:
+				vars[key] = m.Value()
+			case *funcCounter:
+				vars[key] = m.fn()
+			case *Gauge:
+				vars[key] = m.Value()
+			case *funcGauge:
+				vars[key] = m.fn()
+			case *Histogram:
+				hv := map[string]any{
+					"count": m.Count(),
+					"sum":   m.Sum(),
+					"p50":   m.Quantile(0.50),
+					"p95":   m.Quantile(0.95),
+					"p99":   m.Quantile(0.99),
 				}
+				if m.Count() > 0 {
+					hv["max"] = math.Float64frombits(m.max.Load())
+				}
+				vars[key] = hv
 			}
 		}
-		r.mu.Unlock()
 	}
+	r.mu.Unlock()
 	blob, err := json.MarshalIndent(vars, "", "  ")
 	if err != nil {
 		return err

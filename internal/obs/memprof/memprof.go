@@ -307,6 +307,9 @@ func (p *Profiler) Read(name string) int64 {
 // Predict registers a constant analytic prediction for a component — the
 // memmodel value its measurement is diffed against in every sample.
 func (p *Profiler) Predict(name string, bytes float64) {
+	if p == nil {
+		return
+	}
 	p.PredictFunc(name, func() float64 { return bytes })
 }
 
@@ -471,9 +474,13 @@ func (p *Profiler) CaptureHeapProfile(reason string) string {
 	if err != nil {
 		return ""
 	}
-	defer f.Close()
-	// debug=0 writes the binary gzip format `go tool pprof` expects.
-	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+	// debug=0 writes the binary gzip format `go tool pprof` expects. A
+	// failed write or close means a truncated profile: account for it
+	// (apollo_obs_write_errors_total) and report no path rather than
+	// pointing the flight record at a corrupt file.
+	werr := pprof.Lookup("heap").WriteTo(f, 0)
+	if cerr := obs.CountWriteError(f.Close()); werr != nil || cerr != nil {
+		obs.CountWriteError(werr)
 		return ""
 	}
 	return path

@@ -421,7 +421,7 @@ func equalBuckets(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i] != b[i] { //apollo:exactfloat bucket layouts are identical only when bitwise identical
 			return false
 		}
 	}

@@ -103,7 +103,7 @@ func Diff(a, b *RunData, opt DiffOptions) *DiffReport {
 	}
 	for i := 0; i < n; i++ {
 		la, lb := a.Steps[i].Loss, b.Steps[i].Loss
-		if r.FirstDivergence < 0 && (la != lb) {
+		if r.FirstDivergence < 0 && (la != lb) { //apollo:exactfloat first divergence is defined as the first bitwise difference
 			r.FirstDivergence = a.Steps[i].Step
 		}
 		d := math.Abs(lb - la)

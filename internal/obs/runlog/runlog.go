@@ -202,7 +202,7 @@ func Create(root string, m Manifest) (*Run, error) {
 		return nil, fmt.Errorf("runlog: %w", err)
 	}
 	if r.alerts, err = os.Create(filepath.Join(dir, AlertsFile)); err != nil {
-		r.steps.Close()
+		obs.CountWriteError(r.steps.Close())
 		return nil, fmt.Errorf("runlog: %w", err)
 	}
 	r.alertW = obs.NewJSONLWriter(r.alerts)

@@ -47,6 +47,20 @@ func noteWriteError(err error) {
 	})
 }
 
+// CountWriteError routes a writer cleanup error — a Close/Flush/Sync on a
+// telemetry stream, ledger file or checkpoint writer with no caller in a
+// position to act — into the same accounting as failed JSONL emits: counted
+// in apollo_obs_write_errors_total, first occurrence logged. It returns err
+// unchanged so call sites can both account and propagate. A nil err is a
+// no-op, so `obs.CountWriteError(f.Close())` is the standard crash-honest
+// discard.
+func CountWriteError(err error) error {
+	if err != nil {
+		noteWriteError(err)
+	}
+	return err
+}
+
 // InstrumentWriteErrors exposes the process-wide telemetry write-failure
 // count on a registry as apollo_obs_write_errors_total. Nil-safe no-op.
 func InstrumentWriteErrors(r *Registry) {

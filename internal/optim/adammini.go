@@ -89,7 +89,7 @@ func (a *AdamMini) Step(ps []*nn.Param) {
 // StateBytes implements Optimizer.
 func (a *AdamMini) StateBytes() int64 {
 	var total int64
-	for _, st := range a.state {
+	for _, st := range a.state { //apollo:orderfree exact integer sum; iteration order cannot reach the result
 		total += 4 * int64(st.m.NumEl()+len(st.v))
 	}
 	return total

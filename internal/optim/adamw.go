@@ -48,7 +48,7 @@ func (a *AdamW) Step(ps []*nn.Param) {
 // transient per-step storage, matching how the paper counts optimizer states.
 func (a *AdamW) StateBytes() int64 {
 	var total int64
-	for _, st := range a.state {
+	for _, st := range a.state { //apollo:orderfree exact integer sum; iteration order cannot reach the result
 		total += st.bytes()
 	}
 	return total

@@ -299,7 +299,7 @@ func (s *SGD) RestoreGlobals(gs []uint64) error {
 
 // RestoreParam implements StateLoader.
 func (s *SGD) RestoreParam(p *nn.Param, st *ParamState) error {
-	if s.Momentum == 0 {
+	if s.Momentum == 0 { //apollo:exactfloat zero momentum is the exact disabled sentinel, never computed
 		return fmt.Errorf("optim: SGD: checkpoint carries velocity but momentum is disabled")
 	}
 	if err := wantLayout(st, 0, 1, 0, 0, "SGD"); err != nil {

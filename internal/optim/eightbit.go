@@ -91,7 +91,7 @@ func (a *Adam8bit) Step(ps []*nn.Param) {
 // StateBytes implements Optimizer.
 func (a *Adam8bit) StateBytes() int64 {
 	var total int64
-	for _, st := range a.state {
+	for _, st := range a.state { //apollo:orderfree exact integer sum; iteration order cannot reach the result
 		total += st.m.Bytes() + st.v.Bytes()
 	}
 	return total
@@ -212,7 +212,7 @@ func (g *GaLore8bit) Step(ps []*nn.Param) {
 // StateBytes implements Optimizer.
 func (g *GaLore8bit) StateBytes() int64 {
 	total := g.dense.StateBytes()
-	for _, st := range g.states {
+	for _, st := range g.states { //apollo:orderfree exact integer sum; iteration order cannot reach the result
 		total += st.m.Bytes() + st.v.Bytes()
 		total += 4 * int64(st.proj.StateFloats())
 	}

@@ -126,7 +126,7 @@ func (f *Fira) Step(ps []*nn.Param) {
 // parameter for the limiter (Table 1: 2nr + mr + 1).
 func (f *Fira) StateBytes() int64 {
 	total := f.dense.StateBytes()
-	for _, st := range f.states {
+	for _, st := range f.states { //apollo:orderfree exact integer sum; iteration order cannot reach the result
 		total += st.adam.bytes()
 		total += 4 * int64(st.proj.StateFloats())
 		total += 4 // prevNorm

@@ -116,7 +116,7 @@ func (f *Flora) Step(ps []*nn.Param) {
 // itself is regenerated from its seed).
 func (f *Flora) StateBytes() int64 {
 	total := f.dense.StateBytes()
-	for _, st := range f.states {
+	for _, st := range f.states { //apollo:orderfree exact integer sum; iteration order cannot reach the result
 		total += st.adam.bytes()
 		total += 4 * int64(st.proj.StateFloats())
 	}

@@ -19,7 +19,7 @@ type LowRankConfig struct {
 }
 
 func (c LowRankConfig) withDefaults() LowRankConfig {
-	if c.Scale == 0 {
+	if c.Scale == 0 { //apollo:exactfloat zero is the unset-field sentinel; defaults fill only untouched fields
 		c.Scale = 0.25
 	}
 	if c.UpdateGap == 0 {
@@ -149,7 +149,7 @@ func (g *GaLore) Step(ps []*nn.Param) {
 // matrices (SVD only) + dense fallback states.
 func (g *GaLore) StateBytes() int64 {
 	total := g.dense.StateBytes()
-	for _, st := range g.states {
+	for _, st := range g.states { //apollo:orderfree exact integer sum; iteration order cannot reach the result
 		total += st.adam.bytes()
 		total += 4 * int64(st.proj.StateFloats())
 	}

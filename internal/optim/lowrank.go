@@ -56,7 +56,7 @@ type FactorizedConfig struct {
 }
 
 func (c FactorizedConfig) withDefaults() FactorizedConfig {
-	if c.Alpha == 0 {
+	if c.Alpha == 0 { //apollo:exactfloat zero is the unset-field sentinel; defaults fill only untouched fields
 		c.Alpha = float64(2 * c.Rank) // the common α = 2r heuristic
 	}
 	if c.MergeEvery == 0 {
@@ -263,7 +263,7 @@ func (f *Factorized) Step(ps []*nn.Param) {
 // (everything this method must keep resident beyond the live weight).
 func (f *Factorized) StateBytes() int64 {
 	total := f.dense.StateBytes()
-	for _, st := range f.states {
+	for _, st := range f.states { //apollo:orderfree exact integer sum; iteration order cannot reach the result
 		if st.w0 != nil {
 			total += 4 * int64(st.w0.NumEl())
 		}

@@ -43,13 +43,13 @@ type Hyper struct {
 
 // withDefaults fills unset fields with the paper's defaults.
 func (h Hyper) withDefaults() Hyper {
-	if h.Beta1 == 0 {
+	if h.Beta1 == 0 { //apollo:exactfloat zero is the unset-field sentinel; defaults fill only untouched fields
 		h.Beta1 = 0.9
 	}
-	if h.Beta2 == 0 {
+	if h.Beta2 == 0 { //apollo:exactfloat zero is the unset-field sentinel; defaults fill only untouched fields
 		h.Beta2 = 0.999
 	}
-	if h.Eps == 0 {
+	if h.Eps == 0 { //apollo:exactfloat zero is the unset-field sentinel; defaults fill only untouched fields
 		h.Eps = 1e-8
 	}
 	return h
@@ -134,7 +134,7 @@ func sqrt32(x float32) float32 {
 // decayAndApply performs the decoupled-weight-decay AdamW parameter update:
 // w ← w − lr·dir − lr·wd·w.
 func decayAndApply(p *nn.Param, dir *tensor.Matrix, lr, wd float64) {
-	if wd != 0 {
+	if wd != 0 { //apollo:exactfloat zero weight decay disables the term exactly
 		tensor.ScaleInPlace(p.W, float32(1-lr*wd))
 	}
 	tensor.AxpyInPlace(p.W, float32(-lr), dir)

@@ -66,7 +66,7 @@ func (w *WeightQuantized) StateBytes() int64 { return w.inner.StateBytes() }
 // WeightBytes reports the resident INT8 master-weight footprint.
 func (w *WeightQuantized) WeightBytes() int64 {
 	var total int64
-	for _, q := range w.qw {
+	for _, q := range w.qw { //apollo:orderfree exact integer sum; iteration order cannot reach the result
 		total += q.Bytes()
 	}
 	return total

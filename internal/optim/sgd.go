@@ -57,7 +57,7 @@ func (s *SGD) Step(ps []*nn.Param) {
 // StateBytes implements Optimizer.
 func (s *SGD) StateBytes() int64 {
 	var total int64
-	for _, v := range s.vel {
+	for _, v := range s.vel { //apollo:orderfree exact integer sum; iteration order cannot reach the result
 		total += 4 * int64(v.NumEl())
 	}
 	return total

@@ -64,7 +64,7 @@ func Quantize(q *Tensor8, m *tensor.Matrix, rng *tensor.RNG) {
 				absmax = a
 			}
 		}
-		if absmax == 0 {
+		if absmax == 0 { //apollo:exactfloat exact max of magnitudes; zero means the group is all zeros
 			q.Scales[g] = 0
 			for i := lo; i < hi; i++ {
 				q.Codes[i] = 0
@@ -134,7 +134,7 @@ func QuantError(m *tensor.Matrix, groupSize int) float64 {
 	back := Dequantize(q, nil)
 	diff := tensor.Sub(back, m)
 	denom := m.Norm()
-	if denom == 0 {
+	if denom == 0 { //apollo:exactfloat guard against division by an exact-zero norm
 		return 0
 	}
 	return diff.Norm() / denom

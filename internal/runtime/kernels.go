@@ -77,7 +77,7 @@ func matmulRows(out, a, b []float32, k, n, i0, i1 int) {
 			orow := out[i*n+jb : i*n+je]
 			for p := 0; p < k; p++ {
 				av := arow[p]
-				if av == 0 {
+				if av == 0 { //apollo:exactfloat exact-zero skip is bit-identical to the dense multiply
 					continue
 				}
 				axpy(av, b[p*n+jb:p*n+je], orow)
@@ -144,7 +144,7 @@ func tmatmulCols(out, a, b []float32, k, m, n, r0, r1 int) {
 		brow := b[p*n : (p+1)*n]
 		for r := r0; r < r1; r++ {
 			av := arow[r]
-			if av == 0 {
+			if av == 0 { //apollo:exactfloat exact-zero skip is bit-identical to the dense multiply
 				continue
 			}
 			axpy(av, brow, out[r*n:(r+1)*n])

@@ -608,7 +608,7 @@ func (s *Server) handleFineTune(w http.ResponseWriter, r *http.Request) {
 			return fmt.Errorf("serve: ctx_len %d exceeds MaxSeq %d", t.CtxLen, e.model.Cfg.MaxSeq)
 		}
 		lr := req.LR
-		if lr == 0 {
+		if lr == 0 { //apollo:exactfloat zero is the unset-field sentinel; default fills only untouched fields
 			lr = 1e-3
 		}
 		var opt optim.Optimizer

@@ -119,7 +119,7 @@ func (m *Matrix) Equal(o *Matrix) bool {
 		return false
 	}
 	for i, v := range m.Data {
-		if v != o.Data[i] {
+		if v != o.Data[i] { //apollo:exactfloat bitwise equality is this method's contract
 			return false
 		}
 	}
